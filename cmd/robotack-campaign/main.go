@@ -1,0 +1,88 @@
+// Command robotack-campaign runs the paper's evaluation campaigns and
+// regenerates Table II and Figs. 6-8 (plus the §VI headline summary).
+//
+// Usage:
+//
+//	robotack-campaign -runs 150            # paper-scale Table II + figures
+//	robotack-campaign -runs 30 -train=false  # quicker, analytic oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robotack-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runs  = flag.Int("runs", 40, "episodes per campaign (paper: 101-185)")
+		seed  = flag.Int64("seed", 1000, "base seed")
+		train = flag.Bool("train", true, "train the safety-hijacker NNs first (else analytic oracle)")
+	)
+	flag.Parse()
+
+	var oracles map[core.Vector]core.Oracle
+	if *train {
+		fmt.Println("training safety-hijacker oracles (paper §IV-B)...")
+		var infos []experiment.TrainedOracle
+		var err error
+		oracles, infos, err = experiment.TrainOracles(
+			experiment.DefaultOracleSpecs(), *seed+50_000, nn.DefaultTrainConfig())
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			fmt.Printf("  %v: %d samples, validation MAE %.2f m\n",
+				info.Vector, info.Samples, info.Result.ValMAE)
+		}
+	}
+
+	campaigns := experiment.TableIICampaigns()
+	withSH := make([]experiment.CampaignResult, 0, len(campaigns))
+	noSH := make([]experiment.CampaignResult, 0, len(campaigns))
+	for _, c := range campaigns {
+		res, err := experiment.RunCampaign(c, *runs, *seed, oracles)
+		if err != nil {
+			return err
+		}
+		withSH = append(withSH, res)
+		fmt.Printf("campaign %-24s done (%d runs)\n", c.Name, res.Runs)
+		if c.Mode == core.ModeSmart {
+			nres, err := experiment.RunCampaign(c.WithoutSH(), *runs, *seed, oracles)
+			if err != nil {
+				return err
+			}
+			noSH = append(noSH, nres)
+		}
+	}
+
+	fmt.Println("\n=== Table II ===")
+	fmt.Print(experiment.FormatTableII(withSH))
+
+	fmt.Println("\n=== Fig. 6 ===")
+	fmt.Print(experiment.FormatFig6(experiment.Fig6Rows(withSH[:len(noSH)], noSH)))
+
+	fmt.Println("\n=== Fig. 7 ===")
+	fmt.Print(experiment.FormatFig7(withSH))
+
+	fmt.Println("\n=== Fig. 8 ===")
+	smart := withSH[:len(withSH)-1] // exclude the random baseline
+	fmt.Print(experiment.FormatFig8(experiment.Fig8Bins(smart, 10, 6.7), smart))
+
+	fmt.Println("\n=== Headline summary (paper §VI) ===")
+	fmt.Print(experiment.FormatSummary(
+		experiment.Summarize(smart),
+		experiment.Summarize(withSH[len(withSH)-1:])))
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command robotack-sim runs one closed-loop episode — a driving
+// scenario with the full ADS stack, optionally with RoboTack installed
+// on the camera link — and prints the outcome.
+//
+// Usage:
+//
+//	robotack-sim -scenario 2 -mode smart -seed 7
+//	robotack-sim -scenario 1 -mode golden
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robotack-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenarioID = flag.Int("scenario", 1, "driving scenario 1-5 (paper DS-1..DS-5)")
+		mode       = flag.String("mode", "smart", "attack mode: golden | smart | nosh | random")
+		vector     = flag.String("vector", "", "steer Table I's Move_Out/Disappear choice: disappear-vehicles | disappear-pedestrians")
+		seed       = flag.Int64("seed", 1, "episode seed")
+	)
+	flag.Parse()
+
+	setup := experiment.AttackSetup{}
+	switch *mode {
+	case "golden":
+	case "smart":
+		setup.Mode = core.ModeSmart
+	case "nosh":
+		setup.Mode = core.ModeNoSH
+	case "random":
+		setup.Mode = core.ModeRandom
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	switch *vector {
+	case "":
+	case "disappear-vehicles":
+		setup.PreferDisappearFor = sim.ClassVehicle
+	case "disappear-pedestrians":
+		setup.PreferDisappearFor = sim.ClassPedestrian
+	default:
+		return fmt.Errorf("unknown vector steering %q", *vector)
+	}
+
+	res, err := experiment.Run(experiment.RunConfig{
+		Scenario: scenario.ID(*scenarioID),
+		Seed:     *seed,
+		Attack:   setup,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario DS-%d, mode %s, seed %d: %d frames simulated\n",
+		*scenarioID, *mode, *seed, res.Frames)
+	if setup.Mode != 0 {
+		if res.Launched {
+			fmt.Printf("attack: %v on %v at frame %d, K=%d frames (K'=%d), delta at launch %.1f m\n",
+				res.Vector, res.TargetClass, res.LaunchFrame, res.K, res.KPrime, res.DeltaAtLaunch)
+		} else {
+			fmt.Println("attack: never launched")
+		}
+	}
+	fmt.Printf("emergency braking: %v\n", res.EB)
+	fmt.Printf("accident (delta < 4 m): %v\n", res.Crashed)
+	fmt.Printf("min safety potential: %.1f m\n", res.MinDelta)
+	return nil
+}

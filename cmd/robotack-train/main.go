@@ -1,0 +1,60 @@
+// Command robotack-train generates the safety hijacker's training data
+// (forced attacks with predefined delta_inject and k, paper §IV-B),
+// trains one neural oracle per attack vector, reports validation error,
+// and optionally saves the weights.
+//
+// Usage:
+//
+//	robotack-train -out models/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robotack-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed   = flag.Int64("seed", 9000, "base seed")
+		epochs = flag.Int("epochs", 60, "training epochs")
+		out    = flag.String("out", "", "directory to save model JSON files (optional)")
+	)
+	flag.Parse()
+
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = *epochs
+	_, infos, err := experiment.TrainOracles(experiment.DefaultOracleSpecs(), *seed, cfg)
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		fmt.Printf("%v: %d samples, train MSE %.2f, validation MSE %.2f, validation MAE %.2f m\n",
+			info.Vector, info.Samples, info.Result.TrainMSE, info.Result.ValMSE, info.Result.ValMAE)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			name := strings.ToLower(strings.ReplaceAll(info.Vector.String(), "_", "-"))
+			path := filepath.Join(*out, name+".json")
+			if err := info.Net.Save(path); err != nil {
+				return err
+			}
+			fmt.Printf("  saved %s\n", path)
+		}
+	}
+	fmt.Println("paper reference: predictions within ~1-1.5 m (pedestrians) and ~5 m (vehicles)")
+	return nil
+}

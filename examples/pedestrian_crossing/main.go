@@ -1,0 +1,58 @@
+// Pedestrian crossing under attack: the paper's DS-2 scenario with a
+// Move_Out hijack of the crossing pedestrian, traced frame by frame.
+// The printout shows the EV yielding in the golden run and driving into
+// the conflict once the hijack displaces the perceived pedestrian.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/perception"
+	"github.com/robotack/robotack/internal/planner"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sensor"
+	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+func main() {
+	const seed = 3
+	scn, err := scenario.Build(scenario.DS2, stats.NewRNG(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := scn.World
+	cam := sensor.DefaultCamera()
+	adsRNG := stats.NewRNG(seed*7919 + 13)
+	ads := perception.NewDefault(cam, adsRNG)
+	lidar := sensor.NewLidar(adsRNG.Split())
+	pl := planner.New(planner.DefaultConfig(scn.CruiseSpeed))
+	safety := planner.DefaultSafetyConfig()
+
+	mcfg := core.DefaultConfig(core.ModeSmart)
+	mcfg.Matcher.PreferDisappearFor = sim.ClassVehicle // pedestrians get Move_Out
+	malware := core.New(mcfg, cam, nil, stats.NewRNG(seed*31337+7))
+
+	ped := w.Actor(scn.TargetID)
+	fmt.Println("frame  t(s)  EV speed  mode             ped gap  ped lat  attacking  delta")
+	for i := 0; i < scn.Frames() && !w.Halted; i++ {
+		frame := cam.Capture(w, i)
+		malware.SetEVSpeed(w.EV.Speed)
+		malware.Process(frame.Image, i)
+		objs := ads.Process(frame.Image, lidar.Scan(w))
+		d := pl.Plan(objs, ads.Fusion.Config(), w.EV, w.Road)
+		w.Step(d.Accel)
+		if i%15 == 0 || w.Halted {
+			fmt.Printf("%5d %5.1f %8.1f  %-16v %7.1f %8.2f %10v %6.1f\n",
+				i, w.Time(), w.EV.Speed, d.Mode,
+				ped.Pos.X-w.EV.Pos.X, ped.Pos.Y, malware.Attacking(),
+				safety.GroundTruthDelta(w))
+		}
+	}
+	log2 := malware.Log()
+	fmt.Printf("\nattack: launched=%v vector=%v K=%d K'=%d\n",
+		log2.Launched, log2.Vector, log2.K, log2.KPrime)
+	fmt.Printf("outcome: halted(accident)=%v final EV speed=%.1f m/s\n", w.Halted, w.EV.Speed)
+}

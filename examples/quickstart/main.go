@@ -1,0 +1,45 @@
+// Quickstart: run the paper's DS-1 vehicle-following scenario twice —
+// once clean, once with RoboTack on the camera link — and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sim"
+)
+
+func main() {
+	const seed = 7
+
+	golden, err := experiment.Run(experiment.RunConfig{
+		Scenario: scenario.DS1,
+		Seed:     seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden run:   EB=%v accident=%v min delta=%.1f m\n",
+		golden.EB, golden.Crashed, golden.MinDelta)
+
+	attacked, err := experiment.Run(experiment.RunConfig{
+		Scenario: scenario.DS1,
+		Seed:     seed,
+		Attack: experiment.AttackSetup{
+			Mode:               core.ModeSmart,
+			PreferDisappearFor: sim.ClassVehicle, // DS-1-Disappear campaign
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attacked run: EB=%v accident=%v min delta=%.1f m\n",
+		attacked.EB, attacked.Crashed, attacked.MinDelta)
+	if attacked.Launched {
+		fmt.Printf("RoboTack fired %v against the %v at frame %d for K=%d frames\n",
+			attacked.Vector, attacked.TargetClass, attacked.LaunchFrame, attacked.K)
+	}
+}

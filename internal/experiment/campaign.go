@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// Campaign is one experimental campaign of Table II: a driving scenario
+// paired with an attack vector and strategy.
+type Campaign struct {
+	Name     string
+	Scenario scenario.ID
+	Mode     core.Mode
+	// PreferDisappearFor steers Table I's interchangeable cell so the
+	// campaign exercises the intended vector.
+	PreferDisappearFor sim.Class
+	// ExpectCrashes is false for Move_In campaigns (no physical
+	// obstacle to hit), matching the "—" cells of Table II.
+	ExpectCrashes bool
+}
+
+// TableIICampaigns returns the seven campaigns of Table II, in the
+// paper's row order. R-mode campaigns use the full RoboTack.
+func TableIICampaigns() []Campaign {
+	return []Campaign{
+		{Name: "DS-1-Disappear-R", Scenario: scenario.DS1, Mode: core.ModeSmart,
+			PreferDisappearFor: sim.ClassVehicle, ExpectCrashes: true},
+		{Name: "DS-2-Disappear-R", Scenario: scenario.DS2, Mode: core.ModeSmart,
+			PreferDisappearFor: sim.ClassPedestrian, ExpectCrashes: true},
+		{Name: "DS-1-Move_Out-R", Scenario: scenario.DS1, Mode: core.ModeSmart,
+			PreferDisappearFor: sim.ClassPedestrian, ExpectCrashes: true},
+		{Name: "DS-2-Move_Out-R", Scenario: scenario.DS2, Mode: core.ModeSmart,
+			PreferDisappearFor: sim.ClassVehicle, ExpectCrashes: true},
+		{Name: "DS-3-Move_In-R", Scenario: scenario.DS3, Mode: core.ModeSmart,
+			PreferDisappearFor: sim.ClassPedestrian, ExpectCrashes: false},
+		{Name: "DS-4-Move_In-R", Scenario: scenario.DS4, Mode: core.ModeSmart,
+			PreferDisappearFor: sim.ClassVehicle, ExpectCrashes: false},
+		{Name: "DS-5-Baseline-Random", Scenario: scenario.DS5, Mode: core.ModeRandom,
+			ExpectCrashes: true},
+	}
+}
+
+// WithoutSH derives the "R w/o SH" variant of a campaign (random
+// timing, Fig. 6 comparison).
+func (c Campaign) WithoutSH() Campaign {
+	out := c
+	out.Name = c.Name + "-noSH"
+	out.Mode = core.ModeNoSH
+	return out
+}
+
+// CampaignResult aggregates a campaign's runs.
+type CampaignResult struct {
+	Campaign Campaign
+	Runs     int
+	Launched int
+	EBs      int
+	Crashes  int
+
+	Ks        []float64
+	KPrimes   []float64
+	MinDeltas []float64
+
+	// Fig. 8 material (filled when the mode is Smart).
+	Predicted []float64
+	Realized  []float64
+	Successes []bool
+}
+
+// EBRate returns the emergency-braking fraction.
+func (r *CampaignResult) EBRate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.EBs) / float64(r.Runs)
+}
+
+// CrashRate returns the accident fraction.
+func (r *CampaignResult) CrashRate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Crashes) / float64(r.Runs)
+}
+
+// MedianK returns the median attack duration in frames.
+func (r *CampaignResult) MedianK() float64 { return stats.Median(r.Ks) }
+
+// MedianKPrime returns the median shift time K' in frames.
+func (r *CampaignResult) MedianKPrime() float64 { return stats.Median(r.KPrimes) }
+
+// RunCampaign executes runs episodes of the campaign with seeds derived
+// from baseSeed.
+func RunCampaign(c Campaign, runs int, baseSeed int64, oracles map[core.Vector]core.Oracle) (CampaignResult, error) {
+	res := CampaignResult{Campaign: c}
+	for i := 0; i < runs; i++ {
+		rr, err := Run(RunConfig{
+			Scenario: c.Scenario,
+			Seed:     baseSeed + int64(i),
+			Attack: AttackSetup{
+				Mode:               c.Mode,
+				PreferDisappearFor: c.PreferDisappearFor,
+				Oracles:            oracles,
+			},
+		})
+		if err != nil {
+			return res, fmt.Errorf("campaign %s run %d: %w", c.Name, i, err)
+		}
+		res.Runs++
+		if rr.Launched {
+			res.Launched++
+			res.Ks = append(res.Ks, float64(rr.K))
+			if rr.KPrime > 0 {
+				res.KPrimes = append(res.KPrimes, float64(rr.KPrime))
+			}
+			res.MinDeltas = append(res.MinDeltas, rr.MinDelta)
+			if c.Mode == core.ModeSmart {
+				res.Predicted = append(res.Predicted, rr.PredictedDelta)
+				res.Realized = append(res.Realized, rr.RealizedDelta)
+				res.Successes = append(res.Successes, rr.EB || rr.Crashed)
+			}
+		}
+		if rr.EB {
+			res.EBs++
+		}
+		if rr.Crashed && c.ExpectCrashes {
+			res.Crashes++
+		}
+	}
+	return res, nil
+}
+
+// GoldenResult summarizes attack-free runs of a scenario (sanity
+// baseline: the paper's golden runs are incident-free).
+type GoldenResult struct {
+	Scenario scenario.ID
+	Runs     int
+	EBs      int
+	Crashes  int
+}
+
+// RunGolden executes attack-free episodes.
+func RunGolden(id scenario.ID, runs int, baseSeed int64) (GoldenResult, error) {
+	res := GoldenResult{Scenario: id}
+	for i := 0; i < runs; i++ {
+		rr, err := Run(RunConfig{Scenario: id, Seed: baseSeed + int64(i)})
+		if err != nil {
+			return res, err
+		}
+		res.Runs++
+		if rr.EB {
+			res.EBs++
+		}
+		if rr.Crashed {
+			res.Crashes++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"github.com/robotack/robotack/internal/detect"
+	"github.com/robotack/robotack/internal/geom"
+	"github.com/robotack/robotack/internal/sensor"
+	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// ClassCharacterization holds the Fig. 5 statistics for one class.
+type ClassCharacterization struct {
+	Class sim.Class
+	// MissRuns is the distribution of continuous-misdetection run
+	// lengths (frames), Fig. 5(a)/(b).
+	MissRuns stats.ExpFit
+	// ErrX/ErrY are the normalized bbox-center error fits, Fig. 5(c-f).
+	ErrX, ErrY stats.NormalFit
+	Samples    int
+	Runs       int
+}
+
+// Characterization is the full Fig. 5 reproduction.
+type Characterization struct {
+	Pedestrian ClassCharacterization
+	Vehicle    ClassCharacterization
+	Frames     int
+}
+
+// Characterize reproduces the paper's §VI-A measurement: it drives a
+// mixed-traffic world for the given number of frames (the paper used a
+// 10-minute manual drive, 9000 frames), runs the noisy detector against
+// ground-truth projections, and fits the misdetection-run and
+// bbox-error distributions.
+func Characterize(frames int, seed int64) Characterization {
+	rng := stats.NewRNG(seed)
+	cam := sensor.DefaultCamera()
+	det := detect.New(detect.DefaultConfig(), rng.Split())
+
+	ev := sim.DefaultEV()
+	ev.Speed = sim.Kph(40)
+	w := sim.NewWorld(sim.DefaultRoad(), ev)
+
+	type actorStat struct {
+		missRun int
+		class   sim.Class
+	}
+	missRuns := map[sim.Class][]float64{}
+	errX := map[sim.Class][]float64{}
+	errY := map[sim.Class][]float64{}
+	active := map[sim.ActorID]*actorStat{}
+
+	spawn := func() {
+		// Mixed traffic at assorted ranges and lateral positions, as on
+		// a city drive.
+		if rng.Bernoulli(0.5) {
+			w.AddActor(&sim.Actor{
+				Class: sim.ClassVehicle,
+				Pos:   geom.V(w.EV.Pos.X+rng.Uniform(15, 110), rng.Uniform(-4, 4)),
+				Size:  sim.SizeCar,
+				Behavior: &sim.Cruise{
+					Speed: rng.Uniform(sim.Kph(20), sim.Kph(50)),
+				},
+			})
+		} else {
+			// Pedestrians are labeled at the ranges a city drive sees
+			// them: near the EV, on and beside the road.
+			w.AddActor(&sim.Actor{
+				Class:    sim.ClassPedestrian,
+				Pos:      geom.V(w.EV.Pos.X+rng.Uniform(8, 38), rng.Uniform(-5, 5)),
+				Size:     sim.SizePedestrian,
+				Behavior: &sim.Cruise{Speed: rng.Uniform(sim.Kph(38), sim.Kph(43))},
+			})
+		}
+	}
+	for i := 0; i < 8; i++ {
+		spawn()
+	}
+
+	charac := Characterization{Frames: frames}
+	for f := 0; f < frames; f++ {
+		// Recycle actors that fell behind or ran too far ahead.
+		live := w.Actors[:0]
+		for _, a := range w.Actors {
+			rel := a.Pos.X - w.EV.Pos.X
+			if rel > -5 && rel < 140 {
+				live = append(live, a)
+			} else {
+				delete(active, a.ID)
+			}
+		}
+		w.Actors = live
+		for len(w.Actors) < 8 {
+			spawn()
+		}
+
+		frameData := cam.Capture(w, f)
+		dets := det.Detect(frameData.Image)
+
+		for _, truth := range frameData.Truth {
+			// Standard detection-benchmark practice: boxes below a
+			// minimum size are not labeled (a 2-px-wide silhouette
+			// cannot be localized to IoU 0.6 even in principle).
+			if truth.Box.W < 3 || truth.Box.H < 3 {
+				continue
+			}
+			st := active[truth.ID]
+			if st == nil {
+				st = &actorStat{class: truth.Class}
+				active[truth.ID] = st
+			}
+			// Match the best detection by IoU. A box below the overlap
+			// bar counts as a misdetection for the run-length statistic
+			// (the paper uses IoU 60% on 1080p footage; on our 10x
+			// coarser raster the same localization quality corresponds
+			// to a lower IoU, so the bar is scaled down — see
+			// EXPERIMENTS.md). The center-error statistic considers
+			// every overlapping box (paper: "only predicted bounding
+			// boxes that overlap with the ground-truth boxes").
+			const missIoU = 0.25
+			bestIoU, bestIdx := 0.0, -1
+			for i, d := range dets {
+				if iou := d.Box.IoU(truth.Box); iou > bestIoU {
+					bestIoU, bestIdx = iou, i
+				}
+			}
+			if bestIoU < missIoU {
+				st.missRun++
+			} else if st.missRun > 0 {
+				missRuns[st.class] = append(missRuns[st.class], float64(st.missRun))
+				st.missRun = 0
+			}
+			if bestIdx >= 0 && bestIoU > 0 {
+				d := dets[bestIdx]
+				errX[truth.Class] = append(errX[truth.Class],
+					(d.Box.Center().X-truth.Box.Center().X)/truth.Box.W)
+				errY[truth.Class] = append(errY[truth.Class],
+					(d.Box.Center().Y-truth.Box.Center().Y)/truth.Box.H)
+			}
+		}
+		w.Step(0)
+		w.Halted = false // characterization drive ignores proximity
+	}
+
+	fill := func(cls sim.Class) ClassCharacterization {
+		out := ClassCharacterization{Class: cls, Samples: len(errX[cls]), Runs: len(missRuns[cls])}
+		if fit, err := stats.FitExponential(missRuns[cls]); err == nil {
+			out.MissRuns = fit
+		}
+		if fit, err := stats.FitNormal(errX[cls]); err == nil {
+			out.ErrX = fit
+		}
+		if fit, err := stats.FitNormal(errY[cls]); err == nil {
+			out.ErrY = fit
+		}
+		return out
+	}
+	charac.Pedestrian = fill(sim.ClassPedestrian)
+	charac.Vehicle = fill(sim.ClassVehicle)
+	return charac
+}

@@ -1,0 +1,184 @@
+// Package experiment is the evaluation harness: it wires the simulator,
+// the ADS stack and the malware into closed-loop episodes, runs the
+// paper's campaigns (Table II, Figs. 6-8), generates the safety
+// hijacker's training data, and reproduces the Fig. 5 detector
+// characterization.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/perception"
+	"github.com/robotack/robotack/internal/planner"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sensor"
+	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// AttackSetup selects what malware (if any) to install for a run.
+type AttackSetup struct {
+	// Mode zero means a golden (attack-free) run.
+	Mode core.Mode
+	// PreferDisappearFor steers the Move_Out/Disappear choice of
+	// Table I so a campaign exercises one specific vector.
+	PreferDisappearFor sim.Class
+	// Oracles provides trained safety-hijacker oracles (nil: analytic).
+	Oracles map[core.Vector]core.Oracle
+	// Forced bypasses the safety hijacker and launches as soon as the
+	// malware's delta estimate drops below DeltaInject, for K frames —
+	// the paper's training-data collection procedure (§IV-B).
+	Forced *ForcedPlan
+}
+
+// ForcedPlan is a scripted attack for training-data generation.
+type ForcedPlan struct {
+	DeltaInject float64
+	K           int
+}
+
+// RunConfig fully describes one episode.
+type RunConfig struct {
+	Scenario scenario.ID
+	Seed     int64
+	Attack   AttackSetup
+}
+
+// RunResult is everything the campaigns and figures need from one
+// episode.
+type RunResult struct {
+	// Launched reports whether the malware fired.
+	Launched    bool
+	LaunchFrame int
+	Vector      core.Vector
+	TargetClass sim.Class
+	K           int
+	KPrime      int
+
+	// EB is true when the planner entered emergency braking after the
+	// launch (or at all, for golden runs).
+	EB bool
+	// Crashed is true when the simulation halted (LGSVL 4 m rule) or
+	// the ground-truth safety potential dropped below 4 m after launch.
+	Crashed bool
+	// MinDelta is the minimum ground-truth safety potential from the
+	// launch to the end of the episode (the Fig. 6 metric).
+	MinDelta float64
+	// DeltaAtLaunch / PredictedDelta / RealizedDelta support Fig. 8:
+	// the oracle's forecast vs the ground truth delta at launch+K.
+	DeltaAtLaunch  float64
+	PredictedDelta float64
+	RealizedDelta  float64
+	// DeltaTrace is the per-frame ground-truth target-relative safety
+	// potential from launch onward (training-data generation).
+	DeltaTrace []float64
+	// LaunchState is the malware's oracle input at launch.
+	LaunchState core.State
+
+	Frames int
+}
+
+// targetDelta computes the ground-truth safety potential with respect
+// to the scripted target object: gap to the TO minus d_stop. This is
+// the quantity the safety hijacker learns to predict.
+func targetDelta(w *sim.World, targetID sim.ActorID, safety planner.SafetyConfig) float64 {
+	a := w.Actor(targetID)
+	if a == nil {
+		return safety.MaxDSafe
+	}
+	gap := (a.Pos.X - a.Size.Length/2) - (w.EV.Pos.X + w.EV.Size.Length/2)
+	gap = math.Max(math.Min(gap, safety.MaxDSafe), 0)
+	return safety.Delta(gap, w.EV.Speed)
+}
+
+// Run executes one closed-loop episode.
+func Run(cfg RunConfig) (RunResult, error) {
+	scn, err := scenario.Build(cfg.Scenario, stats.NewRNG(cfg.Seed))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("experiment: %w", err)
+	}
+	w := scn.World
+	cam := sensor.DefaultCamera()
+	adsRNG := stats.NewRNG(cfg.Seed*7919 + 13)
+	ads := perception.NewDefault(cam, adsRNG)
+	lidar := sensor.NewLidar(adsRNG.Split())
+	pl := planner.New(planner.DefaultConfig(scn.CruiseSpeed))
+	safety := planner.DefaultSafetyConfig()
+
+	var malware *core.Malware
+	if cfg.Attack.Mode != 0 {
+		mcfg := core.DefaultConfig(cfg.Attack.Mode)
+		if cfg.Attack.PreferDisappearFor != 0 {
+			mcfg.Matcher.PreferDisappearFor = cfg.Attack.PreferDisappearFor
+		}
+		if fp := cfg.Attack.Forced; fp != nil {
+			mcfg.Forced = &core.ForcedPlan{DeltaInject: fp.DeltaInject, K: fp.K}
+		}
+		malware = core.New(mcfg, cam, cfg.Attack.Oracles, stats.NewRNG(cfg.Seed*31337+7))
+	}
+
+	res := RunResult{MinDelta: safety.MaxDSafe}
+	launched := false
+	for i := 0; i < scn.Frames() && !w.Halted; i++ {
+		frame := cam.Capture(w, i)
+		if malware != nil {
+			malware.SetEVSpeed(w.EV.Speed)
+			malware.Process(frame.Image, i)
+		}
+		objs := ads.Process(frame.Image, lidar.Scan(w))
+		d := pl.Plan(objs, ads.Fusion.Config(), w.EV, w.Road)
+		w.Step(d.Accel)
+		res.Frames++
+
+		if malware != nil && !launched && malware.Log().Launched {
+			launched = true
+		}
+		counting := launched || malware == nil
+		if counting {
+			if d.Mode == planner.ModeEmergencyBrake {
+				res.EB = true
+			}
+			gd := safety.GroundTruthDelta(w)
+			if gd < res.MinDelta {
+				res.MinDelta = gd
+			}
+			if launched {
+				res.DeltaTrace = append(res.DeltaTrace, targetDelta(w, scn.TargetID, safety))
+			}
+		}
+	}
+	if w.Halted {
+		res.Crashed = true
+	}
+	if res.MinDelta < safety.AccidentDelta {
+		res.Crashed = true
+	}
+	if malware != nil {
+		log := malware.Log()
+		res.Launched = log.Launched
+		res.LaunchFrame = log.LaunchFrame
+		res.Vector = log.Vector
+		res.TargetClass = log.TargetClass
+		res.K = log.K
+		res.KPrime = log.KPrime
+		res.DeltaAtLaunch = log.DeltaAtLaunch
+		res.LaunchState = log.LaunchState
+		res.PredictedDelta = log.PredictedDelta
+		if log.Launched && len(res.DeltaTrace) > 0 {
+			idx := log.K
+			if idx >= len(res.DeltaTrace) {
+				idx = len(res.DeltaTrace) - 1
+			}
+			res.RealizedDelta = res.DeltaTrace[idx]
+		}
+		if !log.Launched {
+			// An attack that never fired caused whatever happened, so
+			// do not attribute golden noise to it.
+			res.EB = false
+			res.Crashed = false
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// OracleSpec names the forced-attack sweeps used to collect one
+// vector's training data (paper §IV-B: "each simulation had a
+// predefined delta_inject and a k").
+type OracleSpec struct {
+	Vector core.Vector
+	// Sweeps pairs scenarios with the Table I steering needed to make
+	// the matcher pick this vector there.
+	Sweeps []OracleSweep
+	// DeltaGrid is the set of delta_inject trigger values.
+	DeltaGrid []float64
+	// SeedsPerPoint controls repetitions per grid point.
+	SeedsPerPoint int
+}
+
+// OracleSweep is one scenario in a spec.
+type OracleSweep struct {
+	Scenario           scenario.ID
+	PreferDisappearFor sim.Class
+	TargetClass        sim.Class
+}
+
+// DefaultOracleSpecs returns the training sweeps for the three attack
+// vectors, mirroring the paper's data-collection campaigns.
+func DefaultOracleSpecs() []OracleSpec {
+	deltas := []float64{8, 12, 16, 20, 25, 30, 36, 42}
+	return []OracleSpec{
+		{
+			Vector: core.VectorDisappear,
+			Sweeps: []OracleSweep{
+				{Scenario: scenario.DS1, PreferDisappearFor: sim.ClassVehicle, TargetClass: sim.ClassVehicle},
+				{Scenario: scenario.DS2, PreferDisappearFor: sim.ClassPedestrian, TargetClass: sim.ClassPedestrian},
+			},
+			DeltaGrid:     deltas,
+			SeedsPerPoint: 2,
+		},
+		{
+			Vector: core.VectorMoveOut,
+			Sweeps: []OracleSweep{
+				{Scenario: scenario.DS1, PreferDisappearFor: sim.ClassPedestrian, TargetClass: sim.ClassVehicle},
+				{Scenario: scenario.DS2, PreferDisappearFor: sim.ClassVehicle, TargetClass: sim.ClassPedestrian},
+			},
+			DeltaGrid:     deltas,
+			SeedsPerPoint: 2,
+		},
+		{
+			Vector: core.VectorMoveIn,
+			Sweeps: []OracleSweep{
+				{Scenario: scenario.DS3, TargetClass: sim.ClassVehicle},
+				{Scenario: scenario.DS4, TargetClass: sim.ClassPedestrian},
+			},
+			DeltaGrid:     []float64{12, 16, 20, 25, 30, 36, 42, 48},
+			SeedsPerPoint: 2,
+		},
+	}
+}
+
+// GenerateOracleData runs the spec's forced attacks and harvests one
+// training sample per (launch state, elapsed frames) pair: the input is
+// the paper's [delta, vrel, arel, k] and the label is the realized
+// ground-truth safety potential k frames after launch.
+func GenerateOracleData(spec OracleSpec, baseSeed int64) (nn.Dataset, error) {
+	var ds nn.Dataset
+	seed := baseSeed
+	for _, sweep := range spec.Sweeps {
+		kMax := core.DefaultSafetyHijackerConfig().KMaxVehicle
+		if sweep.TargetClass == sim.ClassPedestrian {
+			kMax = core.DefaultSafetyHijackerConfig().KMaxPedestrian
+		}
+		for _, dInject := range spec.DeltaGrid {
+			for s := 0; s < spec.SeedsPerPoint; s++ {
+				seed++
+				rr, err := Run(RunConfig{
+					Scenario: sweep.Scenario,
+					Seed:     seed,
+					Attack: AttackSetup{
+						Mode:               core.ModeSmart,
+						PreferDisappearFor: sweep.PreferDisappearFor,
+						Forced:             &ForcedPlan{DeltaInject: dInject, K: kMax},
+					},
+				})
+				if err != nil {
+					return ds, fmt.Errorf("oracle data: %w", err)
+				}
+				if !rr.Launched {
+					continue
+				}
+				for j, delta := range rr.DeltaTrace {
+					if j == 0 || j > kMax {
+						continue
+					}
+					ds.Add(rr.LaunchState.Encode(j), delta)
+				}
+			}
+		}
+	}
+	return ds, nil
+}
+
+// TrainedOracle bundles a trained network with its validation metrics.
+type TrainedOracle struct {
+	Vector  core.Vector
+	Net     *nn.Network
+	Result  nn.Result
+	Samples int
+}
+
+// TrainOracles generates data and trains one network per attack vector,
+// using the paper's architecture and 60/40 split.
+func TrainOracles(specs []OracleSpec, baseSeed int64, cfg nn.TrainConfig) (map[core.Vector]core.Oracle, []TrainedOracle, error) {
+	oracles := make(map[core.Vector]core.Oracle, len(specs))
+	infos := make([]TrainedOracle, 0, len(specs))
+	for i, spec := range specs {
+		ds, err := GenerateOracleData(spec, baseSeed+int64(i)*10_000)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ds.Len() == 0 {
+			return nil, nil, fmt.Errorf("oracle data: no samples for %v", spec.Vector)
+		}
+		rng := stats.NewRNG(baseSeed + int64(i) + 77)
+		train, val := ds.Split(0.6, rng)
+		net := nn.NewRegressor(core.EncodeDim, rng)
+		res, err := nn.Train(net, train, val, cfg, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		oracles[spec.Vector] = &core.NNOracle{Net: net}
+		infos = append(infos, TrainedOracle{Vector: spec.Vector, Net: net, Result: res, Samples: ds.Len()})
+	}
+	return oracles, infos, nil
+}

@@ -1,0 +1,457 @@
+// Package nn is a small feed-forward neural-network library implementing
+// exactly what the paper's safety hijacker needs (§IV-B): fully
+// connected layers, ReLU activations, dropout with rate 0.1, an MSE
+// loss (Eq. 3), and the Adam optimizer, trained with a 60/40
+// train/validation split.
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output. train enables stochastic
+	// behaviour (dropout).
+	Forward(x []float64, train bool) []float64
+	// Backward consumes dL/dOutput and returns dL/dInput, accumulating
+	// parameter gradients internally.
+	Backward(grad []float64) []float64
+	// Params returns parameter and gradient slices (paired); empty for
+	// parameterless layers.
+	Params() (params, grads [][]float64)
+}
+
+// Dense is a fully connected layer: y = Wx + b.
+type Dense struct {
+	In, Out int
+	W       []float64 // row-major Out x In
+	B       []float64
+
+	gw, gb []float64
+	x      []float64
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense creates a dense layer with He-initialized weights.
+func NewDense(in, out int, rng *stats.RNG) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range d.W {
+		d.W[i] = rng.Normal(0, scale)
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64, _ bool) []float64 {
+	d.x = append(d.x[:0], x...)
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad []float64) []float64 {
+	in := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad[o]
+		d.gb[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.gw[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += g * d.x[i]
+			in[i] += g * row[i]
+		}
+	}
+	return in
+}
+
+// Params implements Layer.
+func (d *Dense) Params() (params, grads [][]float64) {
+	return [][]float64{d.W, d.B}, [][]float64{d.gw, d.gb}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64, _ bool) []float64 {
+	if cap(r.mask) < len(x) {
+		r.mask = make([]bool, len(x))
+	}
+	r.mask = r.mask[:len(x)]
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad []float64) []float64 {
+	out := make([]float64, len(grad))
+	for i, g := range grad {
+		if r.mask[i] {
+			out[i] = g
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() (params, grads [][]float64) { return nil, nil }
+
+// Dropout zeroes activations with probability Rate during training
+// (inverted dropout: survivors are scaled by 1/(1-Rate)).
+type Dropout struct {
+	Rate float64
+	rng  *stats.RNG
+	keep []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout creates a dropout layer.
+func NewDropout(rate float64, rng *stats.RNG) *Dropout {
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x []float64, train bool) []float64 {
+	out := make([]float64, len(x))
+	if !train || d.Rate <= 0 {
+		copy(out, x)
+		d.keep = nil
+		return out
+	}
+	if cap(d.keep) < len(x) {
+		d.keep = make([]bool, len(x))
+	}
+	d.keep = d.keep[:len(x)]
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x {
+		if d.rng.Bernoulli(d.Rate) {
+			d.keep[i] = false
+		} else {
+			d.keep[i] = true
+			out[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad []float64) []float64 {
+	out := make([]float64, len(grad))
+	if d.keep == nil {
+		copy(out, grad)
+		return out
+	}
+	scale := 1 / (1 - d.Rate)
+	for i, g := range grad {
+		if d.keep[i] {
+			out[i] = g * scale
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() (params, grads [][]float64) { return nil, nil }
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewRegressor builds the paper's safety-hijacker architecture: three
+// hidden layers (100, 100, 50) with ReLU and dropout 0.1, and a linear
+// scalar output.
+func NewRegressor(inputDim int, rng *stats.RNG) *Network {
+	return &Network{Layers: []Layer{
+		NewDense(inputDim, 100, rng),
+		&ReLU{},
+		NewDropout(0.1, rng),
+		NewDense(100, 100, rng),
+		&ReLU{},
+		NewDropout(0.1, rng),
+		NewDense(100, 50, rng),
+		&ReLU{},
+		NewDropout(0.1, rng),
+		NewDense(50, 1, rng),
+	}}
+}
+
+// Forward runs the network. train enables dropout.
+func (n *Network) Forward(x []float64, train bool) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Predict runs the network in inference mode and returns the scalar
+// output.
+func (n *Network) Predict(x []float64) float64 {
+	return n.Forward(x, false)[0]
+}
+
+// Backward propagates an output gradient through the stack.
+func (n *Network) Backward(grad []float64) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// ZeroGrads clears accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		_, grads := l.Params()
+		for _, g := range grads {
+			for i := range g {
+				g[i] = 0
+			}
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) over a network's parameters.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	m, v [][]float64
+	t    int
+}
+
+// NewAdam creates an Adam optimizer with standard hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update using the gradients accumulated in n, scaled
+// by 1/batchSize.
+func (a *Adam) Step(n *Network, batchSize int) {
+	var params, grads [][]float64
+	for _, l := range n.Layers {
+		p, g := l.Params()
+		params = append(params, p...)
+		grads = append(grads, g...)
+	}
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p))
+			a.v[i] = make([]float64, len(p))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	inv := 1 / float64(batchSize)
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p {
+			gj := g[j] * inv
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*gj
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*gj*gj
+			p[j] -= a.LR * (m[j] / c1) / (math.Sqrt(v[j]/c2) + a.Eps)
+		}
+	}
+}
+
+// Dataset is a supervised regression dataset.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Add appends a sample.
+func (d *Dataset) Add(x []float64, y float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Split partitions the dataset into train/validation with the given
+// train fraction (the paper uses 0.6), shuffled by rng.
+func (d *Dataset) Split(trainFrac float64, rng *stats.RNG) (train, val Dataset) {
+	idx := rng.Perm(d.Len())
+	nTrain := int(trainFrac * float64(d.Len()))
+	for i, j := range idx {
+		if i < nTrain {
+			train.Add(d.X[j], d.Y[j])
+		} else {
+			val.Add(d.X[j], d.Y[j])
+		}
+	}
+	return train, val
+}
+
+// TrainConfig parametrizes Train.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+}
+
+// DefaultTrainConfig returns the training recipe used for the safety
+// hijacker.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 60, BatchSize: 32, LR: 1e-3}
+}
+
+// Result reports training metrics.
+type Result struct {
+	TrainMSE float64
+	ValMSE   float64
+	ValMAE   float64
+}
+
+// Train fits the network on train with MSE loss (Eq. 3 of the paper)
+// and evaluates on val.
+func Train(n *Network, train, val Dataset, cfg TrainConfig, rng *stats.RNG) (Result, error) {
+	if train.Len() == 0 {
+		return Result{}, errors.New("nn: empty training set")
+	}
+	opt := NewAdam(cfg.LR)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(train.Len())
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			n.ZeroGrads()
+			for _, j := range order[start:end] {
+				out := n.Forward(train.X[j], true)
+				// d(MSE)/d(out) = 2*(out - y)
+				n.Backward([]float64{2 * (out[0] - train.Y[j])})
+			}
+			opt.Step(n, end-start)
+		}
+	}
+	res := Result{TrainMSE: mse(n, train)}
+	if val.Len() > 0 {
+		res.ValMSE = mse(n, val)
+		res.ValMAE = mae(n, val)
+	}
+	return res, nil
+}
+
+func mse(n *Network, d Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range d.X {
+		e := n.Predict(d.X[i]) - d.Y[i]
+		s += e * e
+	}
+	return s / float64(d.Len())
+}
+
+func mae(n *Network, d Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range d.X {
+		s += math.Abs(n.Predict(d.X[i]) - d.Y[i])
+	}
+	return s / float64(d.Len())
+}
+
+// snapshot is the serialized form of a network's dense layers.
+type snapshot struct {
+	Dims    []int       `json:"dims"`
+	Weights [][]float64 `json:"weights"`
+	Biases  [][]float64 `json:"biases"`
+	Dropout float64     `json:"dropout"`
+}
+
+// Save writes the network weights to a JSON file.
+func (n *Network) Save(path string) error {
+	snap := snapshot{}
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dense); ok {
+			if len(snap.Dims) == 0 {
+				snap.Dims = append(snap.Dims, d.In)
+			}
+			snap.Dims = append(snap.Dims, d.Out)
+			snap.Weights = append(snap.Weights, d.W)
+			snap.Biases = append(snap.Biases, d.B)
+		}
+		if dr, ok := l.(*Dropout); ok {
+			snap.Dropout = dr.Rate
+		}
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("nn save: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a network saved by Save. The reconstructed network uses
+// ReLU+dropout between dense layers, matching NewRegressor's topology.
+func Load(path string, rng *stats.RNG) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn load: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("nn load: %w", err)
+	}
+	if len(snap.Dims) < 2 || len(snap.Weights) != len(snap.Dims)-1 {
+		return nil, errors.New("nn load: malformed snapshot")
+	}
+	n := &Network{}
+	for i := 0; i < len(snap.Weights); i++ {
+		d := NewDense(snap.Dims[i], snap.Dims[i+1], rng)
+		if len(snap.Weights[i]) != len(d.W) || len(snap.Biases[i]) != len(d.B) {
+			return nil, errors.New("nn load: dimension mismatch")
+		}
+		copy(d.W, snap.Weights[i])
+		copy(d.B, snap.Biases[i])
+		n.Layers = append(n.Layers, d)
+		if i < len(snap.Weights)-1 {
+			n.Layers = append(n.Layers, &ReLU{}, NewDropout(snap.Dropout, rng))
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,68 @@
+// Package perception wires the full ADS perception system of the
+// paper's Fig. 1: camera raster -> object detector (D) -> Hungarian
+// matching (M) -> per-object Kalman filters (F*) -> ground-plane
+// transformation (T) -> camera/LiDAR sensor fusion -> world model W_t.
+package perception
+
+import (
+	"github.com/robotack/robotack/internal/detect"
+	"github.com/robotack/robotack/internal/fusion"
+	"github.com/robotack/robotack/internal/sensor"
+	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
+	"github.com/robotack/robotack/internal/track"
+)
+
+// Pipeline is one complete perception stack instance. The ADS owns one;
+// the malware owns a second, independent instance for its own
+// situational awareness (paper §III-D: the malware reconstructs the
+// world from the tapped camera feed).
+type Pipeline struct {
+	Detector *detect.Detector
+	Tracker  *track.Tracker
+	Fusion   *fusion.Fusion
+
+	lastDetections []detect.Detection
+}
+
+// New builds a pipeline around the given camera geometry. rng feeds the
+// detector's noise processes; pass cfg detect.Config with DisableNoise
+// for a deterministic stack.
+func New(cam *sensor.Camera, detCfg detect.Config, trkCfg track.Config, fusCfg fusion.Config, rng *stats.RNG) *Pipeline {
+	if detCfg.DisableNoise {
+		// The tracker's measurement debiasing compensates the
+		// detector's characterized error means; with noise disabled it
+		// would itself introduce a systematic bias.
+		trkCfg.VehicleNoise = detect.NoiseParams{}
+		trkCfg.PedestrianNoise = detect.NoiseParams{}
+	}
+	return &Pipeline{
+		Detector: detect.New(detCfg, rng),
+		Tracker:  track.NewTracker(trkCfg),
+		Fusion:   fusion.New(fusCfg, cam),
+	}
+}
+
+// NewDefault builds a pipeline with all default configurations.
+func NewDefault(cam *sensor.Camera, rng *stats.RNG) *Pipeline {
+	return New(cam, detect.DefaultConfig(), track.DefaultConfig(), fusion.DefaultConfig(), rng)
+}
+
+// Process runs one frame through the stack and returns the fused world
+// model.
+func (p *Pipeline) Process(img *sensor.Image, lidar []sensor.Detection) []fusion.Object {
+	p.lastDetections = p.Detector.Detect(img)
+	tracks := p.Tracker.Step(p.lastDetections)
+	return p.Fusion.Step(tracks, lidar, sim.DT)
+}
+
+// LastDetections returns the detector output of the most recent frame.
+func (p *Pipeline) LastDetections() []detect.Detection { return p.lastDetections }
+
+// Reset clears all stateful stages for a new episode.
+func (p *Pipeline) Reset() {
+	p.Detector.Reset()
+	p.Tracker.Reset()
+	p.Fusion.Reset()
+	p.lastDetections = nil
+}

@@ -1,0 +1,140 @@
+// Package planner implements the ADS planning & control module of the
+// paper's Fig. 1: the Jha et al. safety model (Definitions 3-5: d_stop,
+// d_safe and the safety potential delta), an ACC-style longitudinal
+// planner with cruise / follow / brake / emergency-brake modes, and the
+// PID smoothing of actuation commands.
+package planner
+
+import (
+	"math"
+
+	"github.com/robotack/robotack/internal/fusion"
+	"github.com/robotack/robotack/internal/sim"
+)
+
+// SafetyConfig parametrizes the safety model.
+type SafetyConfig struct {
+	// ComfortDecel is the "maximum comfortable deceleration" of
+	// Definition 3, in m/s^2.
+	ComfortDecel float64
+	// ReactionTime adds a reaction distance v * t to d_stop.
+	ReactionTime float64
+	// MaxDSafe caps d_safe when no obstacle is in the corridor.
+	MaxDSafe float64
+	// AccidentDelta is the delta below which a run counts as an
+	// accident: 4 m, the LGSVL halt limitation adopted by the paper
+	// (§II-C, Definition 5).
+	AccidentDelta float64
+}
+
+// DefaultSafetyConfig returns the safety model used throughout.
+// ComfortDecel 5 m/s^2 with no reaction allowance calibrates d_stop so
+// that DS-1's attack-start safety potential lands at the paper's
+// delta_0 ~ 41 m (Fig. 8b): at 45 kph, d_stop = 12.5^2/10 = 15.6 m.
+func DefaultSafetyConfig() SafetyConfig {
+	return SafetyConfig{
+		ComfortDecel:  5.0,
+		ReactionTime:  0,
+		MaxDSafe:      100,
+		AccidentDelta: 4.0,
+	}
+}
+
+// crossingConfidence is the evidence level at which a crossing
+// pedestrian triggers precautionary braking.
+func (c SafetyConfig) crossingConfidence() float64 { return 0.45 }
+
+// DStop is Definition 3: the distance travelled before a complete stop
+// under the maximum comfortable deceleration, including the reaction
+// distance.
+func (c SafetyConfig) DStop(speed float64) float64 {
+	if speed <= 0 {
+		return 0
+	}
+	return speed*c.ReactionTime + speed*speed/(2*c.ComfortDecel)
+}
+
+// Delta is Definition 5: the safety potential delta = d_safe - d_stop.
+func (c SafetyConfig) Delta(dsafe, speed float64) float64 {
+	return dsafe - c.DStop(speed)
+}
+
+// Corridor prediction horizons (seconds): how far ahead lateral motion
+// is extrapolated when deciding whether an object is entering the EV
+// corridor. Pedestrians get a longer horizon (vulnerable road users are
+// anticipated earlier). A Move_In hijack works precisely because this
+// prediction exists.
+const (
+	VehicleCorridorHorizon    = 1.5
+	PedestrianCorridorHorizon = 3.0
+)
+
+// CorridorHorizonFor returns the prediction horizon for a class.
+func CorridorHorizonFor(cls sim.Class) float64 {
+	if cls == sim.ClassPedestrian {
+		return PedestrianCorridorHorizon
+	}
+	return VehicleCorridorHorizon
+}
+
+// InCorridorNowOrSoon reports whether the object is inside the EV's
+// swept corridor, or will enter it within the horizon given its
+// lateral velocity.
+func InCorridorNowOrSoon(rel, vel float64, width, evWidth, horizon float64, road sim.Road) bool {
+	if road.InEVCorridor(rel, width, evWidth) {
+		return true
+	}
+	future := rel + vel*horizon
+	return road.InEVCorridor(future, width, evWidth)
+}
+
+// Target is the in-path object selected by the safety model.
+type Target struct {
+	Object fusion.Object
+	// Gap is the bumper-to-bumper longitudinal distance in meters.
+	Gap float64
+	// Closing is the closing speed in m/s (positive when the gap is
+	// shrinking).
+	Closing float64
+}
+
+// DSafe implements Definition 4 on a fused world model: the distance
+// the EV can travel without colliding with the nearest confident
+// in-corridor (now or soon) object ahead. It returns MaxDSafe and a nil
+// target when the corridor is clear.
+func (c SafetyConfig) DSafe(objs []fusion.Object, fcfg fusion.Config, ev sim.EV, road sim.Road) (float64, *Target) {
+	best := c.MaxDSafe
+	var target *Target
+	for i := range objs {
+		o := objs[i]
+		if !o.Confident(fcfg) {
+			continue
+		}
+		horizon := CorridorHorizonFor(o.Class)
+		if !InCorridorNowOrSoon(o.Rel.Y, o.Vel.Y, o.Size.Width, ev.Size.Width, horizon, road) {
+			continue
+		}
+		gap := o.Rel.X - o.Size.Length/2 - ev.Size.Length/2
+		if gap < -o.Size.Length { // behind the EV
+			continue
+		}
+		gap = math.Max(gap, 0)
+		if gap < best {
+			best = gap
+			target = &Target{Object: o, Gap: gap, Closing: -o.Vel.X}
+		}
+	}
+	return best, target
+}
+
+// GroundTruthDelta computes the safety potential from simulator ground
+// truth; the experiment harness uses it to classify accidents exactly
+// as the paper does (min delta over the run).
+func (c SafetyConfig) GroundTruthDelta(w *sim.World) float64 {
+	gap, _, ok := w.GroundTruthGap()
+	dsafe := c.MaxDSafe
+	if ok {
+		dsafe = math.Max(math.Min(gap, c.MaxDSafe), 0)
+	}
+	return c.Delta(dsafe, w.EV.Speed)
+}

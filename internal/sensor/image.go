@@ -1,0 +1,156 @@
+// Package sensor models the EV's sensors: the front camera (a pinhole
+// model rendering actor silhouettes into a grayscale raster — the pixel
+// surface the trajectory hijacker perturbs) and the LiDAR (a range
+// sensor with per-class registration distance, reproducing the paper's
+// observation that LiDAR registers vehicles much farther out than
+// pedestrians).
+package sensor
+
+import (
+	"math"
+
+	"github.com/robotack/robotack/internal/geom"
+)
+
+// Image is a grayscale raster with intensities in [0, 1]. The camera
+// renders into it and the detector and the trajectory hijacker read and
+// write it. 192x108 cells stand in for the paper's 1920x1080 camera
+// (DESIGN.md §5).
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage allocates a zeroed W x H image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x, y), or 0 outside the raster.
+func (im *Image) At(x, y int) float64 {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the intensity at (x, y); out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, v float64) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Clear resets every pixel to v.
+func (im *Image) Clear(v float64) {
+	for i := range im.Pix {
+		im.Pix[i] = v
+	}
+}
+
+// FillRect paints the axis-aligned pixel rectangle r with intensity v,
+// clipped to the raster.
+func (im *Image) FillRect(r geom.Rect, v float64) {
+	x0, y0, x1, y1 := clipRect(r, im.W, im.H)
+	for y := y0; y < y1; y++ {
+		row := y * im.W
+		for x := x0; x < x1; x++ {
+			im.Pix[row+x] = v
+		}
+	}
+}
+
+// FillRectAA paints r with intensity v using box-filter anti-aliasing:
+// boundary pixels blend toward v in proportion to their coverage. The
+// fractional edge intensities let the detector recover object borders
+// with sub-pixel precision, standing in for the 10x finer pixel grid of
+// the paper's 1920x1080 camera.
+func (im *Image) FillRectAA(r geom.Rect, v float64) {
+	yLo, yHi := r.Min.Y, r.Min.Y+r.H
+	xLo, xHi := r.Min.X, r.Min.X+r.W
+	y0 := int(math.Floor(yLo))
+	y1 := int(math.Ceil(yHi))
+	x0 := int(math.Floor(xLo))
+	x1 := int(math.Ceil(xHi))
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y1 > im.H {
+		y1 = im.H
+	}
+	if x1 > im.W {
+		x1 = im.W
+	}
+	for y := y0; y < y1; y++ {
+		cy := overlap(float64(y), float64(y)+1, yLo, yHi)
+		row := y * im.W
+		for x := x0; x < x1; x++ {
+			c := cy * overlap(float64(x), float64(x)+1, xLo, xHi)
+			if c <= 0 {
+				continue
+			}
+			p := &im.Pix[row+x]
+			*p = (1-c)*(*p) + c*v
+		}
+	}
+}
+
+// overlap returns the length of the intersection of [a0,a1] and [b0,b1].
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo, hi := math.Max(a0, b0), math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	c := NewImage(im.W, im.H)
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// Bounds returns the raster rectangle in pixel coordinates.
+func (im *Image) Bounds() geom.Rect {
+	return geom.R(0, 0, float64(im.W), float64(im.H))
+}
+
+// MassAbove returns the number of pixels in r with intensity >= thresh.
+func (im *Image) MassAbove(r geom.Rect, thresh float64) int {
+	x0, y0, x1, y1 := clipRect(r, im.W, im.H)
+	n := 0
+	for y := y0; y < y1; y++ {
+		row := y * im.W
+		for x := x0; x < x1; x++ {
+			if im.Pix[row+x] >= thresh {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func clipRect(r geom.Rect, w, h int) (x0, y0, x1, y1 int) {
+	x0 = int(r.Min.X)
+	y0 = int(r.Min.Y)
+	x1 = int(r.Min.X + r.W)
+	y1 = int(r.Min.Y + r.H)
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	return x0, y0, x1, y1
+}

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {150, 5}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestFitNormalRecoversParameters(t *testing.T) {
+	rng := NewRNG(42)
+	const mu, sigma = 0.25, 2.0
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.Normal(mu, sigma)
+	}
+	fit, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-mu) > 0.05 {
+		t.Errorf("Mu = %v, want ~%v", fit.Mu, mu)
+	}
+	if math.Abs(fit.Sigma-sigma) > 0.05 {
+		t.Errorf("Sigma = %v, want ~%v", fit.Sigma, sigma)
+	}
+	// 99th percentile of N(mu, sigma) is mu + 2.326*sigma.
+	if want := mu + 2.326*sigma; math.Abs(fit.P99-want) > 0.25 {
+		t.Errorf("P99 = %v, want ~%v", fit.P99, want)
+	}
+}
+
+func TestFitExponentialRecoversParameters(t *testing.T) {
+	rng := NewRNG(7)
+	const lambda, loc = 0.33, 1.0
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = loc + rng.Exponential(lambda)
+	}
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Lambda-lambda) > 0.02 {
+		t.Errorf("Lambda = %v, want ~%v", fit.Lambda, lambda)
+	}
+	if math.Abs(fit.Loc-loc) > 0.05 {
+		t.Errorf("Loc = %v, want ~%v", fit.Loc, loc)
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := FitNormal(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("FitNormal(nil) should fail")
+	}
+	if _, err := FitExponential(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("FitExponential(nil) should fail")
+	}
+	if _, err := Box(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Box(nil) should fail")
+	}
+}
+
+func TestBox(t *testing.T) {
+	b, err := Box([]float64{7, 1, 3, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Max != 9 || b.Median != 5 || b.N != 5 {
+		t.Errorf("Box = %+v", b)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+}
+
+// Property: the five-number summary is ordered min<=q1<=med<=q3<=max.
+func TestBoxOrderedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b, err := Box(xs)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0, 1.9, 2, 9.9, 10, 11})
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestFitLinear(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-1) > 1e-9 || math.Abs(fit.B-2) > 1e-9 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if _, err := FitLinear(xs, ys[:3]); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := FitLinear([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	got, err := MeanAbsError([]float64{1, 2, 3}, []float64{2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if _, err := MeanAbsError([]float64{1}, nil); err == nil {
+		t.Error("mismatch should fail")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("sibling streams correlate: %d/100 equal draws", same)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	rng := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := rng.TruncNormal(0, 1, -0.5, 0.5)
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("sample %v outside bounds", v)
+		}
+	}
+	// Pathological bounds: falls back to clamped mean.
+	if v := rng.TruncNormal(0, 0.001, 100, 200); v != 100 {
+		t.Errorf("fallback = %v, want 100", v)
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	rng := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := rng.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform sample %v out of range", v)
+		}
+	}
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if rng.Bernoulli(0.25) {
+			n++
+		}
+	}
+	if n < 2200 || n > 2800 {
+		t.Errorf("Bernoulli(0.25) hit %d/10000", n)
+	}
+}

@@ -1,0 +1,117 @@
+package track
+
+import "math"
+
+// Forbidden is the cost assigned to disallowed assignments. Hungarian
+// treats it as any other (large) cost; callers must filter assignments
+// whose cost is >= Forbidden afterwards.
+const Forbidden = 1e6
+
+// Hungarian solves the rectangular assignment problem for the given
+// cost matrix (rows = workers, cols = jobs) and returns assignment[r] =
+// assigned column for each row, or -1 when the row is unassigned
+// (possible when cols < rows). It minimizes total cost in O(n^3) using
+// the Jonker-Volgenant style shortest augmenting path formulation of
+// the Kuhn-Munkres algorithm — the "M" stage in the paper's Fig. 1.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := 0
+	for _, row := range cost {
+		if len(row) > m {
+			m = len(row)
+		}
+	}
+	if m == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+
+	// Pad to a square dim x dim matrix with Forbidden costs so every
+	// row gets a (possibly dummy) column.
+	dim := n
+	if m > dim {
+		dim = m
+	}
+	a := make([][]float64, dim+1)
+	for i := 1; i <= dim; i++ {
+		a[i] = make([]float64, dim+1)
+		for j := 1; j <= dim; j++ {
+			c := Forbidden
+			if i-1 < n && j-1 < len(cost[i-1]) {
+				c = cost[i-1][j-1]
+			}
+			a[i][j] = c
+		}
+	}
+
+	u := make([]float64, dim+1)
+	v := make([]float64, dim+1)
+	p := make([]int, dim+1) // p[j] = row assigned to column j
+	way := make([]int, dim+1)
+
+	for i := 1; i <= dim; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, dim+1)
+		used := make([]bool, dim+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0, j1 := p[j0], 0
+			delta := math.Inf(1)
+			for j := 1; j <= dim; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= dim; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 1; j <= dim; j++ {
+		if r := p[j]; r >= 1 && r <= n && j-1 < m {
+			out[r-1] = j - 1
+		}
+	}
+	return out
+}

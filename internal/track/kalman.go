@@ -1,0 +1,107 @@
+// Package track implements the multiple-object-tracking (MOT) half of
+// the perception system described in §II-B of the paper: per-object
+// Kalman filters ("F*" in Fig. 1) with a constant-velocity motion
+// model, the Hungarian assignment step ("M"), and the track lifecycle
+// manager that ties them together in the tracking-by-detection
+// paradigm.
+//
+// The Kalman filter here is the component the paper identifies as the
+// critical vulnerability (§III-B): it models measurement noise as
+// zero-mean Gaussian, so an adversary who injects drift within one
+// standard deviation of that model is indistinguishable from noise.
+package track
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/robotack/robotack/internal/geom"
+	"github.com/robotack/robotack/internal/mat"
+)
+
+// Kalman is a constant-velocity Kalman filter over an image-space
+// bounding-box center. State is [u, v, du, dv] in pixels and pixels per
+// frame; time steps are whole camera frames (dt = 1).
+type Kalman struct {
+	x *mat.Matrix // 4x1 state
+	p *mat.Matrix // 4x4 covariance
+
+	f, fT *mat.Matrix // transition
+	q     *mat.Matrix // process noise
+	h, hT *mat.Matrix // measurement model
+
+	// lastInnov is the most recent measurement residual (z - Hx), and
+	// lastInnovNorm the residual normalized by the innovation standard
+	// deviation — the statistic an intrusion detector would monitor.
+	lastInnov     geom.Vec2
+	lastInnovNorm geom.Vec2
+}
+
+// NewKalman creates a filter initialized at the measured center with
+// zero velocity and a large initial uncertainty.
+func NewKalman(center geom.Vec2) *Kalman {
+	k := &Kalman{
+		x: mat.ColVec(center.X, center.Y, 0, 0),
+		p: mat.Diag(25, 25, 16, 16),
+		f: mat.FromRows([][]float64{
+			{1, 0, 1, 0},
+			{0, 1, 0, 1},
+			{0, 0, 1, 0},
+			{0, 0, 0, 1},
+		}),
+		q: mat.Diag(0.15, 0.15, 0.08, 0.08),
+		h: mat.FromRows([][]float64{
+			{1, 0, 0, 0},
+			{0, 1, 0, 0},
+		}),
+	}
+	k.fT = k.f.T()
+	k.hT = k.h.T()
+	return k
+}
+
+// Predict advances the state one frame: x = Fx, P = FPF' + Q.
+func (k *Kalman) Predict() {
+	k.x = k.f.Mul(k.x)
+	k.p = k.f.Mul(k.p).Mul(k.fT).Add(k.q)
+}
+
+// Update incorporates a measured center z with per-axis measurement
+// standard deviations (sigmaU, sigmaV) in pixels.
+func (k *Kalman) Update(z geom.Vec2, sigmaU, sigmaV float64) error {
+	r := mat.Diag(math.Max(sigmaU*sigmaU, 1), math.Max(sigmaV*sigmaV, 1))
+	// Innovation y = z - Hx and its covariance S = HPH' + R.
+	hx := k.h.Mul(k.x)
+	y := mat.ColVec(z.X-hx.At(0, 0), z.Y-hx.At(1, 0))
+	s := k.h.Mul(k.p).Mul(k.hT).Add(r)
+	sInv, err := s.Inverse()
+	if err != nil {
+		return fmt.Errorf("kalman update: %w", err)
+	}
+	gain := k.p.Mul(k.hT).Mul(sInv)
+	k.x = k.x.Add(gain.Mul(y))
+	kh := gain.Mul(k.h)
+	k.p = mat.Identity(4).Sub(kh).Mul(k.p)
+
+	k.lastInnov = geom.V(y.At(0, 0), y.At(1, 0))
+	k.lastInnovNorm = geom.V(
+		y.At(0, 0)/math.Sqrt(s.At(0, 0)),
+		y.At(1, 0)/math.Sqrt(s.At(1, 1)),
+	)
+	return nil
+}
+
+// Center returns the current state estimate of the box center.
+func (k *Kalman) Center() geom.Vec2 { return geom.V(k.x.At(0, 0), k.x.At(1, 0)) }
+
+// Velocity returns the estimated center velocity in pixels per frame.
+func (k *Kalman) Velocity() geom.Vec2 { return geom.V(k.x.At(2, 0), k.x.At(3, 0)) }
+
+// Innovation returns the last measurement residual in pixels.
+func (k *Kalman) Innovation() geom.Vec2 { return k.lastInnov }
+
+// InnovationNorm returns the last residual divided by the innovation
+// standard deviation per axis. An IDS watching the perception system
+// flags updates whose normalized innovation magnitude exceeds ~1
+// consistently (paper §III-B, §VI-E).
+func (k *Kalman) InnovationNorm() geom.Vec2 { return k.lastInnovNorm }
