@@ -6,9 +6,12 @@
 package robotack_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
 	"github.com/robotack/robotack/internal/scenario"
@@ -140,6 +143,36 @@ func BenchmarkHeadline(b *testing.B) {
 		b.ReportMetric(100*float64(r.EBs)/float64(max(r.Runs, 1)), "random-EB%")
 		b.ReportMetric(100*float64(s.Crashes)/float64(max(s.CrashEligibleRuns, 1)), "robotack-crash%")
 		b.ReportMetric(100*float64(r.Crashes)/float64(max(r.CrashEligibleRuns, 1)), "random-crash%")
+	}
+}
+
+// BenchmarkEngineParallel compares campaign throughput on a 1-worker
+// engine against the full GOMAXPROCS pool; the episodes/s metric is
+// the parallel-campaign speedup the engine buys. Results are
+// bit-identical across the two sub-benchmarks by construction.
+func BenchmarkEngineParallel(b *testing.B) {
+	c := experiment.Campaign{
+		Name:               "DS-2-Disappear-R",
+		Scenario:           scenario.DS2,
+		Mode:               core.ModeSmart,
+		PreferDisappearFor: sim.ClassPedestrian,
+		ExpectCrashes:      true,
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.New(engine.WithWorkers(workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunCampaignOn(eng, c, benchRuns, 4000, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Runs != benchRuns {
+					b.Fatalf("ran %d episodes, want %d", res.Runs, benchRuns)
+				}
+			}
+			b.ReportMetric(float64(benchRuns*b.N)/b.Elapsed().Seconds(), "episodes/s")
+		})
 	}
 }
 

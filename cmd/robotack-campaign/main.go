@@ -1,18 +1,24 @@
 // Command robotack-campaign runs the paper's evaluation campaigns and
 // regenerates Table II and Figs. 6-8 (plus the §VI headline summary).
+// Episodes fan out across an engine worker pool; results are
+// bit-identical for any -workers value, and Ctrl-C cancels the sweep.
 //
 // Usage:
 //
 //	robotack-campaign -runs 150            # paper-scale Table II + figures
 //	robotack-campaign -runs 30 -train=false  # quicker, analytic oracle
+//	robotack-campaign -workers 4           # cap the worker pool
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
 )
@@ -26,18 +32,34 @@ func main() {
 
 func run() error {
 	var (
-		runs  = flag.Int("runs", 40, "episodes per campaign (paper: 101-185)")
-		seed  = flag.Int64("seed", 1000, "base seed")
-		train = flag.Bool("train", true, "train the safety-hijacker NNs first (else analytic oracle)")
+		runs    = flag.Int("runs", 40, "episodes per campaign (paper: 101-185)")
+		seed    = flag.Int64("seed", 1000, "base seed")
+		train   = flag.Bool("train", true, "train the safety-hijacker NNs first (else analytic oracle)")
+		workers = flag.Int("workers", engine.DefaultWorkers(), "parallel episode workers")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := engine.New(
+		engine.WithWorkers(*workers),
+		engine.WithContext(ctx),
+		engine.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d episodes", done, total)
+			if done == total {
+				fmt.Fprint(os.Stderr, "\n")
+			}
+		}),
+	)
+	fmt.Printf("engine: %d workers\n", eng.Workers())
 
 	var oracles map[core.Vector]core.Oracle
 	if *train {
 		fmt.Println("training safety-hijacker oracles (paper §IV-B)...")
 		var infos []experiment.TrainedOracle
 		var err error
-		oracles, infos, err = experiment.TrainOracles(
+		oracles, infos, err = experiment.TrainOraclesOn(eng,
 			experiment.DefaultOracleSpecs(), *seed+50_000, nn.DefaultTrainConfig())
 		if err != nil {
 			return err
@@ -52,14 +74,14 @@ func run() error {
 	withSH := make([]experiment.CampaignResult, 0, len(campaigns))
 	noSH := make([]experiment.CampaignResult, 0, len(campaigns))
 	for _, c := range campaigns {
-		res, err := experiment.RunCampaign(c, *runs, *seed, oracles)
+		res, err := experiment.RunCampaignOn(eng, c, *runs, *seed, oracles)
 		if err != nil {
 			return err
 		}
 		withSH = append(withSH, res)
 		fmt.Printf("campaign %-24s done (%d runs)\n", c.Name, res.Runs)
 		if c.Mode == core.ModeSmart {
-			nres, err := experiment.RunCampaign(c.WithoutSH(), *runs, *seed, oracles)
+			nres, err := experiment.RunCampaignOn(eng, c.WithoutSH(), *runs, *seed, oracles)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 // Command robotack-sim runs one closed-loop episode — a driving
 // scenario with the full ADS stack, optionally with RoboTack installed
-// on the camera link — and prints the outcome.
+// on the camera link — and prints the outcome. The episode is
+// submitted through the execution engine, so Ctrl-C aborts it cleanly.
 //
 // Usage:
 //
@@ -9,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
@@ -57,14 +61,25 @@ func run() error {
 		return fmt.Errorf("unknown vector steering %q", *vector)
 	}
 
-	res, err := experiment.Run(experiment.RunConfig{
-		Scenario: scenario.ID(*scenarioID),
-		Seed:     *seed,
-		Attack:   setup,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := engine.New(engine.WithWorkers(1), engine.WithContext(ctx))
+
+	// A one-job batch: the additive derivation hands the job exactly
+	// the -seed value.
+	results, err := eng.RunAll(*seed, []engine.Job{
+		func(ctx context.Context, jobSeed int64) (any, error) {
+			return experiment.RunCtx(ctx, experiment.RunConfig{
+				Scenario: scenario.ID(*scenarioID),
+				Seed:     jobSeed,
+				Attack:   setup,
+			})
+		},
 	})
 	if err != nil {
 		return err
 	}
+	res := results[0].Value.(experiment.RunResult)
 
 	fmt.Printf("scenario DS-%d, mode %s, seed %d: %d frames simulated\n",
 		*scenarioID, *mode, *seed, res.Frames)

@@ -1,20 +1,26 @@
 // Command robotack-train generates the safety hijacker's training data
 // (forced attacks with predefined delta_inject and k, paper §IV-B),
 // trains one neural oracle per attack vector, reports validation error,
-// and optionally saves the weights.
+// and optionally saves the weights. The forced-attack sweeps fan out
+// across an engine worker pool; training stays deterministic in -seed
+// for any -workers value.
 //
 // Usage:
 //
 //	robotack-train -out models/
+//	robotack-train -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
 )
@@ -28,15 +34,20 @@ func main() {
 
 func run() error {
 	var (
-		seed   = flag.Int64("seed", 9000, "base seed")
-		epochs = flag.Int("epochs", 60, "training epochs")
-		out    = flag.String("out", "", "directory to save model JSON files (optional)")
+		seed    = flag.Int64("seed", 9000, "base seed")
+		epochs  = flag.Int("epochs", 60, "training epochs")
+		out     = flag.String("out", "", "directory to save model JSON files (optional)")
+		workers = flag.Int("workers", engine.DefaultWorkers(), "parallel episode workers")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := engine.New(engine.WithWorkers(*workers), engine.WithContext(ctx))
+
 	cfg := nn.DefaultTrainConfig()
 	cfg.Epochs = *epochs
-	_, infos, err := experiment.TrainOracles(experiment.DefaultOracleSpecs(), *seed, cfg)
+	_, infos, err := experiment.TrainOraclesOn(eng, experiment.DefaultOracleSpecs(), *seed, cfg)
 	if err != nil {
 		return err
 	}

@@ -3,18 +3,29 @@
 // characterized detector-noise envelope (Fig. 5). RoboTack keeps every
 // per-frame shift within ~1 sigma of that envelope, so its hijack is
 // indistinguishable from inference noise; a crude attacker who yanks
-// the box faster is flagged immediately.
+// the box faster is flagged immediately. The three monitored attackers
+// run as one engine batch.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math"
 
 	"github.com/robotack/robotack/internal/detect"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/geom"
 	"github.com/robotack/robotack/internal/sensor"
 	"github.com/robotack/robotack/internal/track"
 )
+
+// attacker is one monitored box trajectory: a name and the lateral
+// offset the attack injects at frame i.
+type attacker struct {
+	name     string
+	offsetFn func(i int) float64
+}
 
 func main() {
 	trkCfg := track.DefaultConfig()
@@ -25,7 +36,7 @@ func main() {
 	// characterized 1-sigma envelope (normalized by box width).
 	alarm := np.SigmaX
 
-	run := func(name string, offsetFn func(i int) float64) {
+	monitor := func(a attacker) float64 {
 		// The IDS inspects the attacker-controlled signal itself: the
 		// deterministic detector isolates what the attack adds on top
 		// of natural noise (which the envelope already accounts for).
@@ -38,7 +49,7 @@ func main() {
 		worst, prev := 0.0, math.NaN()
 		for i := 0; i < 90; i++ {
 			img.Clear(0.05)
-			img.FillRectAA(base.Translate(geom.V(offsetFn(i), 0)), 0.9)
+			img.FillRectAA(base.Translate(geom.V(a.offsetFn(i), 0)), 0.9)
 			dets := det.Detect(img)
 			if len(dets) != 1 {
 				prev = math.NaN() // natural miss; the IDS tolerates those
@@ -52,26 +63,40 @@ func main() {
 			}
 			prev = u
 		}
-		verdict := "PASSES as noise"
-		if worst > alarm {
-			verdict = "FLAGGED by the IDS"
-		}
-		fmt.Printf("%-32s max |du|/W = %5.2f (alarm at %.2f)  -> %s\n", name, worst, alarm, verdict)
+		return worst
 	}
 
 	drift := 0.9 * np.SigmaX * boxW / 4 // RoboTack-style sub-sigma drift
+	attackers := []attacker{
+		{"no attack", func(int) float64 { return 0 }},
+		{"RoboTack drift (<1 sigma)", func(i int) float64 {
+			if i <= 40 {
+				return 0
+			}
+			return math.Min(float64(i-40)*drift, 20)
+		}},
+		{"crude yank (2 sigma/frame)", func(i int) float64 {
+			if i <= 40 {
+				return 0
+			}
+			return math.Min(float64(i-40)*2*np.SigmaX*boxW, 45)
+		}},
+	}
+
+	worsts, err := engine.Map(engine.New(), 0, attackers,
+		func(_ context.Context, _ int64, a attacker) (float64, error) {
+			return monitor(a), nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("IDS monitor: frame-to-frame box displacement vs the Fig. 5 noise envelope")
-	run("no attack", func(int) float64 { return 0 })
-	run("RoboTack drift (<1 sigma)", func(i int) float64 {
-		if i <= 40 {
-			return 0
+	for i, a := range attackers {
+		verdict := "PASSES as noise"
+		if worsts[i] > alarm {
+			verdict = "FLAGGED by the IDS"
 		}
-		return math.Min(float64(i-40)*drift, 20)
-	})
-	run("crude yank (2 sigma/frame)", func(i int) float64 {
-		if i <= 40 {
-			return 0
-		}
-		return math.Min(float64(i-40)*2*np.SigmaX*boxW, 45)
-	})
+		fmt.Printf("%-32s max |du|/W = %5.2f (alarm at %.2f)  -> %s\n", a.name, worsts[i], alarm, verdict)
+	}
 }

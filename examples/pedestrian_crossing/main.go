@@ -2,13 +2,18 @@
 // Move_Out hijack of the crossing pedestrian, traced frame by frame.
 // The printout shows the EV yielding in the golden run and driving into
 // the conflict once the hijack displaces the perceived pedestrian.
+// After the trace, the same attack is surveyed across a batch of seeds
+// streamed off the engine's worker pool as episodes complete.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/perception"
 	"github.com/robotack/robotack/internal/planner"
 	"github.com/robotack/robotack/internal/scenario"
@@ -55,4 +60,31 @@ func main() {
 	fmt.Printf("\nattack: launched=%v vector=%v K=%d K'=%d\n",
 		log2.Launched, log2.Vector, log2.K, log2.KPrime)
 	fmt.Printf("outcome: halted(accident)=%v final EV speed=%.1f m/s\n", w.Halted, w.EV.Speed)
+
+	// Survey the same attack across a batch of seeds: episodes stream
+	// off the worker pool in completion order, each seeded from
+	// (baseSeed, index) so the batch replays exactly.
+	const surveyRuns = 8
+	fmt.Printf("\nstreaming the same attack across %d seeds:\n", surveyRuns)
+	jobs := make([]engine.Job, surveyRuns)
+	for i := range jobs {
+		jobs[i] = func(ctx context.Context, jobSeed int64) (any, error) {
+			return experiment.RunCtx(ctx, experiment.RunConfig{
+				Scenario: scenario.DS2,
+				Seed:     jobSeed,
+				Attack: experiment.AttackSetup{
+					Mode:               core.ModeSmart,
+					PreferDisappearFor: sim.ClassVehicle,
+				},
+			})
+		}
+	}
+	for r := range engine.New().Stream(seed, jobs) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		rr := r.Value.(experiment.RunResult)
+		fmt.Printf("  seed %2d: launched=%-5v EB=%-5v accident=%-5v min delta=%5.1f m\n",
+			r.Seed, rr.Launched, rr.EB, rr.Crashed, rr.MinDelta)
+	}
 }

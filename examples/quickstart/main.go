@@ -1,12 +1,16 @@
 // Quickstart: run the paper's DS-1 vehicle-following scenario twice —
 // once clean, once with RoboTack on the camera link — and compare.
+// Both episodes are submitted as one engine batch, so they run
+// concurrently on the worker pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
@@ -15,27 +19,31 @@ import (
 func main() {
 	const seed = 7
 
-	golden, err := experiment.Run(experiment.RunConfig{
-		Scenario: scenario.DS1,
-		Seed:     seed,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("golden run:   EB=%v accident=%v min delta=%.1f m\n",
-		golden.EB, golden.Crashed, golden.MinDelta)
-
-	attacked, err := experiment.Run(experiment.RunConfig{
-		Scenario: scenario.DS1,
-		Seed:     seed,
-		Attack: experiment.AttackSetup{
+	// Both variants replay the same seed, so the only difference
+	// between the two episodes is the malware.
+	setups := []experiment.AttackSetup{
+		{}, // golden (attack-free)
+		{
 			Mode:               core.ModeSmart,
 			PreferDisappearFor: sim.ClassVehicle, // DS-1-Disappear campaign
 		},
-	})
+	}
+	eng := engine.New(engine.WithWorkers(len(setups)))
+	results, err := engine.Map(eng, seed, setups,
+		func(ctx context.Context, _ int64, setup experiment.AttackSetup) (experiment.RunResult, error) {
+			return experiment.RunCtx(ctx, experiment.RunConfig{
+				Scenario: scenario.DS1,
+				Seed:     seed,
+				Attack:   setup,
+			})
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	golden, attacked := results[0], results[1]
+	fmt.Printf("golden run:   EB=%v accident=%v min delta=%.1f m\n",
+		golden.EB, golden.Crashed, golden.MinDelta)
 	fmt.Printf("attacked run: EB=%v accident=%v min delta=%.1f m\n",
 		attacked.EB, attacked.Crashed, attacked.MinDelta)
 	if attacked.Launched {

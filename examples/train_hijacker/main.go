@@ -1,6 +1,7 @@
 // Train a safety-hijacker oracle (paper §IV-B) on forced-attack data
 // for the Disappear vector and query it: "if I hide the pedestrian for
-// k frames now, what will the safety potential be afterwards?"
+// k frames now, what will the safety potential be afterwards?" The
+// forced-attack data-collection sweeps run in parallel on an engine.
 package main
 
 import (
@@ -8,6 +9,7 @@ import (
 	"log"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/geom"
 	"github.com/robotack/robotack/internal/nn"
@@ -26,7 +28,8 @@ func main() {
 		DeltaGrid:     []float64{10, 15, 20, 25, 30, 36},
 		SeedsPerPoint: 2,
 	}
-	oracles, infos, err := experiment.TrainOracles(
+	eng := engine.New() // one worker per CPU; training stays deterministic
+	oracles, infos, err := experiment.TrainOraclesOn(eng,
 		[]experiment.OracleSpec{spec}, 4242,
 		nn.TrainConfig{Epochs: 40, BatchSize: 32, LR: 1e-3})
 	if err != nil {

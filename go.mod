@@ -1,0 +1,3 @@
+module github.com/robotack/robotack
+
+go 1.24

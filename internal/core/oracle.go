@@ -78,18 +78,51 @@ func (o *AnalyticOracle) PredictDelta(s State, k int) float64 {
 	}
 }
 
+// OracleCloner is implemented by oracles whose prediction path keeps
+// per-call mutable state and which therefore cannot be shared across
+// concurrently running episodes.
+type OracleCloner interface {
+	Oracle
+	// CloneOracle returns an independent copy safe for use from
+	// another goroutine.
+	CloneOracle() Oracle
+}
+
+// CloneOracles derives a per-episode view of an oracle map for
+// concurrent use: cloneable oracles are cloned, stateless ones (such
+// as the analytic oracle) are shared. A nil map stays nil.
+func CloneOracles(oracles map[Vector]Oracle) map[Vector]Oracle {
+	if oracles == nil {
+		return nil
+	}
+	out := make(map[Vector]Oracle, len(oracles))
+	for v, o := range oracles {
+		if c, ok := o.(OracleCloner); ok {
+			out[v] = c.CloneOracle()
+		} else {
+			out[v] = o
+		}
+	}
+	return out
+}
+
 // NNOracle wraps a trained feed-forward network (paper §IV-B) as an
 // Oracle.
 type NNOracle struct {
 	Net *nn.Network
 }
 
-var _ Oracle = (*NNOracle)(nil)
+var _ OracleCloner = (*NNOracle)(nil)
 
 // PredictDelta implements Oracle.
 func (o *NNOracle) PredictDelta(s State, k int) float64 {
 	return o.Net.Predict(s.Encode(k))
 }
+
+// CloneOracle implements OracleCloner: the network's forward pass
+// caches activations per layer, so each concurrent episode gets its
+// own copy of the weights and scratch.
+func (o *NNOracle) CloneOracle() Oracle { return &NNOracle{Net: o.Net.Clone()} }
 
 // SafetyHijackerConfig parametrizes the when-to-attack decision.
 type SafetyHijackerConfig struct {

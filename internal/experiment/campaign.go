@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
 	"github.com/robotack/robotack/internal/stats"
@@ -94,22 +96,46 @@ func (r *CampaignResult) MedianK() float64 { return stats.Median(r.Ks) }
 func (r *CampaignResult) MedianKPrime() float64 { return stats.Median(r.KPrimes) }
 
 // RunCampaign executes runs episodes of the campaign with seeds derived
-// from baseSeed.
+// from baseSeed, on a default engine (one worker per CPU). The
+// aggregate is bit-identical to a sequential run: episode seeds depend
+// only on (baseSeed, index) and results fold in index order.
 func RunCampaign(c Campaign, runs int, baseSeed int64, oracles map[core.Vector]core.Oracle) (CampaignResult, error) {
-	res := CampaignResult{Campaign: c}
-	for i := 0; i < runs; i++ {
-		rr, err := Run(RunConfig{
-			Scenario: c.Scenario,
-			Seed:     baseSeed + int64(i),
-			Attack: AttackSetup{
-				Mode:               c.Mode,
-				PreferDisappearFor: c.PreferDisappearFor,
-				Oracles:            oracles,
-			},
-		})
-		if err != nil {
-			return res, fmt.Errorf("campaign %s run %d: %w", c.Name, i, err)
+	return RunCampaignOn(engine.New(), c, runs, baseSeed, oracles)
+}
+
+// RunCampaignOn executes the campaign's episodes on eng, which
+// controls worker count, cancellation and progress reporting. On
+// cancellation the partial aggregate is returned along with the
+// context's error.
+func RunCampaignOn(eng *engine.Engine, c Campaign, runs int, baseSeed int64, oracles map[core.Vector]core.Oracle) (CampaignResult, error) {
+	jobs := make([]engine.Job, runs)
+	for i := range jobs {
+		jobs[i] = func(ctx context.Context, seed int64) (any, error) {
+			return RunCtx(ctx, RunConfig{
+				Scenario: c.Scenario,
+				Seed:     seed,
+				Attack: AttackSetup{
+					Mode:               c.Mode,
+					PreferDisappearFor: c.PreferDisappearFor,
+					// Episodes run concurrently; trained oracles keep
+					// per-call scratch, so each episode gets its own
+					// copy.
+					Oracles: core.CloneOracles(oracles),
+				},
+			})
 		}
+	}
+	results, runErr := eng.RunAll(baseSeed, jobs)
+
+	res := CampaignResult{Campaign: c}
+	for _, r := range results {
+		if r.Err != nil {
+			if runErr == nil || runErr == r.Err {
+				runErr = fmt.Errorf("campaign %s run %d: %w", c.Name, r.Index, r.Err)
+			}
+			continue
+		}
+		rr := r.Value.(RunResult)
 		res.Runs++
 		if rr.Launched {
 			res.Launched++
@@ -131,7 +157,7 @@ func RunCampaign(c Campaign, runs int, baseSeed int64, oracles map[core.Vector]c
 			res.Crashes++
 		}
 	}
-	return res, nil
+	return res, runErr
 }
 
 // GoldenResult summarizes attack-free runs of a scenario (sanity
@@ -143,14 +169,30 @@ type GoldenResult struct {
 	Crashes  int
 }
 
-// RunGolden executes attack-free episodes.
+// RunGolden executes attack-free episodes on a default engine.
 func RunGolden(id scenario.ID, runs int, baseSeed int64) (GoldenResult, error) {
-	res := GoldenResult{Scenario: id}
-	for i := 0; i < runs; i++ {
-		rr, err := Run(RunConfig{Scenario: id, Seed: baseSeed + int64(i)})
-		if err != nil {
-			return res, err
+	return RunGoldenOn(engine.New(), id, runs, baseSeed)
+}
+
+// RunGoldenOn executes attack-free episodes on eng.
+func RunGoldenOn(eng *engine.Engine, id scenario.ID, runs int, baseSeed int64) (GoldenResult, error) {
+	jobs := make([]engine.Job, runs)
+	for i := range jobs {
+		jobs[i] = func(ctx context.Context, seed int64) (any, error) {
+			return RunCtx(ctx, RunConfig{Scenario: id, Seed: seed})
 		}
+	}
+	results, runErr := eng.RunAll(baseSeed, jobs)
+
+	res := GoldenResult{Scenario: id}
+	for _, r := range results {
+		if r.Err != nil {
+			if runErr == nil {
+				runErr = r.Err
+			}
+			continue
+		}
+		rr := r.Value.(RunResult)
 		res.Runs++
 		if rr.EB {
 			res.EBs++
@@ -159,5 +201,5 @@ func RunGolden(id scenario.ID, runs int, baseSeed int64) (GoldenResult, error) {
 			res.Crashes++
 		}
 	}
-	return res, nil
+	return res, runErr
 }

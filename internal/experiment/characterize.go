@@ -1,7 +1,10 @@
 package experiment
 
 import (
+	"context"
+
 	"github.com/robotack/robotack/internal/detect"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/geom"
 	"github.com/robotack/robotack/internal/sensor"
 	"github.com/robotack/robotack/internal/sim"
@@ -27,12 +30,86 @@ type Characterization struct {
 	Frames     int
 }
 
-// Characterize reproduces the paper's §VI-A measurement: it drives a
-// mixed-traffic world for the given number of frames (the paper used a
-// 10-minute manual drive, 9000 frames), runs the noisy detector against
-// ground-truth projections, and fits the misdetection-run and
-// bbox-error distributions.
+// characterizeSegmentFrames caps the drive length of one engine job.
+// Drives longer than this are split into independent segments (each
+// with its own world and derived seed) whose sample pools merge before
+// fitting — the detector-noise process is stationary, so segmenting
+// the paper's 10-minute drive changes nothing statistically while
+// letting the segments run in parallel.
+const characterizeSegmentFrames = 3000
+
+// characterizePools is one segment's raw sample pools.
+type characterizePools struct {
+	missRuns, errX, errY map[sim.Class][]float64
+}
+
+// Characterize reproduces the paper's §VI-A measurement on a default
+// engine: it drives a mixed-traffic world for the given number of
+// frames (the paper used a 10-minute manual drive, 9000 frames), runs
+// the noisy detector against ground-truth projections, and fits the
+// misdetection-run and bbox-error distributions.
 func Characterize(frames int, seed int64) Characterization {
+	c, _ := CharacterizeOn(engine.New(), frames, seed)
+	return c
+}
+
+// CharacterizeOn runs the characterization drive on eng, one engine
+// job per segment of at most characterizeSegmentFrames frames. Sample
+// pools merge in segment order, so the fits are identical for any
+// worker count; for frames within a single segment the result matches
+// the historical sequential drive exactly.
+func CharacterizeOn(eng *engine.Engine, frames int, seed int64) (Characterization, error) {
+	var segments []int
+	for rem := frames; rem > 0; rem -= characterizeSegmentFrames {
+		n := rem
+		if n > characterizeSegmentFrames {
+			n = characterizeSegmentFrames
+		}
+		segments = append(segments, n)
+	}
+
+	pools, err := engine.Map(eng, seed, segments,
+		func(ctx context.Context, segSeed int64, n int) (characterizePools, error) {
+			return characterizeSegment(ctx, n, segSeed)
+		})
+
+	missRuns := map[sim.Class][]float64{}
+	errX := map[sim.Class][]float64{}
+	errY := map[sim.Class][]float64{}
+	for _, p := range pools {
+		for cls, v := range p.missRuns {
+			missRuns[cls] = append(missRuns[cls], v...)
+		}
+		for cls, v := range p.errX {
+			errX[cls] = append(errX[cls], v...)
+		}
+		for cls, v := range p.errY {
+			errY[cls] = append(errY[cls], v...)
+		}
+	}
+
+	charac := Characterization{Frames: frames}
+	fill := func(cls sim.Class) ClassCharacterization {
+		out := ClassCharacterization{Class: cls, Samples: len(errX[cls]), Runs: len(missRuns[cls])}
+		if fit, ferr := stats.FitExponential(missRuns[cls]); ferr == nil {
+			out.MissRuns = fit
+		}
+		if fit, ferr := stats.FitNormal(errX[cls]); ferr == nil {
+			out.ErrX = fit
+		}
+		if fit, ferr := stats.FitNormal(errY[cls]); ferr == nil {
+			out.ErrY = fit
+		}
+		return out
+	}
+	charac.Pedestrian = fill(sim.ClassPedestrian)
+	charac.Vehicle = fill(sim.ClassVehicle)
+	return charac, err
+}
+
+// characterizeSegment drives one mixed-traffic world for frames frames
+// and collects the raw misdetection-run and center-error pools.
+func characterizeSegment(ctx context.Context, frames int, seed int64) (characterizePools, error) {
 	rng := stats.NewRNG(seed)
 	cam := sensor.DefaultCamera()
 	det := detect.New(detect.DefaultConfig(), rng.Split())
@@ -45,9 +122,11 @@ func Characterize(frames int, seed int64) Characterization {
 		missRun int
 		class   sim.Class
 	}
-	missRuns := map[sim.Class][]float64{}
-	errX := map[sim.Class][]float64{}
-	errY := map[sim.Class][]float64{}
+	pools := characterizePools{
+		missRuns: map[sim.Class][]float64{},
+		errX:     map[sim.Class][]float64{},
+		errY:     map[sim.Class][]float64{},
+	}
 	active := map[sim.ActorID]*actorStat{}
 
 	spawn := func() {
@@ -77,8 +156,10 @@ func Characterize(frames int, seed int64) Characterization {
 		spawn()
 	}
 
-	charac := Characterization{Frames: frames}
 	for f := 0; f < frames; f++ {
+		if f%64 == 0 && ctx.Err() != nil {
+			return pools, ctx.Err()
+		}
 		// Recycle actors that fell behind or ran too far ahead.
 		live := w.Actors[:0]
 		for _, a := range w.Actors {
@@ -127,35 +208,19 @@ func Characterize(frames int, seed int64) Characterization {
 			if bestIoU < missIoU {
 				st.missRun++
 			} else if st.missRun > 0 {
-				missRuns[st.class] = append(missRuns[st.class], float64(st.missRun))
+				pools.missRuns[st.class] = append(pools.missRuns[st.class], float64(st.missRun))
 				st.missRun = 0
 			}
 			if bestIdx >= 0 && bestIoU > 0 {
 				d := dets[bestIdx]
-				errX[truth.Class] = append(errX[truth.Class],
+				pools.errX[truth.Class] = append(pools.errX[truth.Class],
 					(d.Box.Center().X-truth.Box.Center().X)/truth.Box.W)
-				errY[truth.Class] = append(errY[truth.Class],
+				pools.errY[truth.Class] = append(pools.errY[truth.Class],
 					(d.Box.Center().Y-truth.Box.Center().Y)/truth.Box.H)
 			}
 		}
 		w.Step(0)
 		w.Halted = false // characterization drive ignores proximity
 	}
-
-	fill := func(cls sim.Class) ClassCharacterization {
-		out := ClassCharacterization{Class: cls, Samples: len(errX[cls]), Runs: len(missRuns[cls])}
-		if fit, err := stats.FitExponential(missRuns[cls]); err == nil {
-			out.MissRuns = fit
-		}
-		if fit, err := stats.FitNormal(errX[cls]); err == nil {
-			out.ErrX = fit
-		}
-		if fit, err := stats.FitNormal(errY[cls]); err == nil {
-			out.ErrY = fit
-		}
-		return out
-	}
-	charac.Pedestrian = fill(sim.ClassPedestrian)
-	charac.Vehicle = fill(sim.ClassVehicle)
-	return charac
+	return pools, nil
 }

@@ -1,13 +1,19 @@
 package experiment
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/nn"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
 )
 
 func TestGoldenRunsMostlySafe(t *testing.T) {
@@ -191,5 +197,88 @@ func TestReportFormatters(t *testing.T) {
 	}
 	if out := FormatSummary(s, s); !strings.Contains(out, "RoboTack") {
 		t.Error("summary output malformed")
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	// An (untrained) NN oracle exercises the per-episode oracle cloning
+	// that makes shared trained nets safe under concurrency.
+	oracles := map[core.Vector]core.Oracle{
+		core.VectorDisappear: &core.NNOracle{Net: nn.NewRegressor(core.EncodeDim, stats.NewRNG(11))},
+	}
+	c := Campaign{Name: "det", Scenario: scenario.DS2, Mode: core.ModeSmart,
+		PreferDisappearFor: sim.ClassPedestrian, ExpectCrashes: true}
+	var want CampaignResult
+	for i, workers := range []int{1, 4, 8} {
+		got, err := RunCampaignOn(engine.New(engine.WithWorkers(workers)), c, 12, 500, oracles)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Runs != 12 {
+			t.Fatalf("workers=%d: %d runs, want 12", workers, got.Runs)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: aggregate differs from 1-worker run:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
+	}
+}
+
+func TestCharacterizeDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization test")
+	}
+	// 4000 frames spans two segments, so worker counts actually differ
+	// in scheduling.
+	seq, err := CharacterizeOn(engine.New(engine.WithWorkers(1)), 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CharacterizeOn(engine.New(engine.WithWorkers(4)), 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("characterization differs across worker counts:\n seq %+v\n par %+v", seq, par)
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := engine.New(
+		engine.WithWorkers(2),
+		engine.WithContext(ctx),
+		engine.WithProgress(func(done, total int) {
+			if done == 2 {
+				cancel()
+			}
+		}),
+	)
+	c := Campaign{Name: "cancel", Scenario: scenario.DS1, Mode: core.ModeSmart,
+		PreferDisappearFor: sim.ClassVehicle, ExpectCrashes: true}
+	start := time.Now()
+	res, err := RunCampaignOn(eng, c, 60, 100, nil)
+	if err == nil {
+		t.Fatal("canceled campaign returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Runs == 0 || res.Runs >= 60 {
+		t.Errorf("partial aggregate has %d runs, want 0 < n < 60", res.Runs)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
 	}
 }

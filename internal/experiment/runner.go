@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -95,6 +96,13 @@ func targetDelta(w *sim.World, targetID sim.ActorID, safety planner.SafetyConfig
 
 // Run executes one closed-loop episode.
 func Run(cfg RunConfig) (RunResult, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes one closed-loop episode under a cancellation
+// context: a canceled ctx aborts the frame loop promptly and returns
+// ctx.Err(). The episode itself is deterministic in cfg.Seed.
+func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	scn, err := scenario.Build(cfg.Scenario, stats.NewRNG(cfg.Seed))
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiment: %w", err)
@@ -122,6 +130,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	res := RunResult{MinDelta: safety.MaxDSafe}
 	launched := false
 	for i := 0; i < scn.Frames() && !w.Halted; i++ {
+		if i%16 == 0 && ctx.Err() != nil {
+			return res, ctx.Err()
+		}
 		frame := cam.Capture(w, i)
 		if malware != nil {
 			malware.SetEVSpeed(w.EV.Speed)

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/nn"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
@@ -66,13 +68,29 @@ func DefaultOracleSpecs() []OracleSpec {
 	}
 }
 
-// GenerateOracleData runs the spec's forced attacks and harvests one
-// training sample per (launch state, elapsed frames) pair: the input is
-// the paper's [delta, vrel, arel, k] and the label is the realized
-// ground-truth safety potential k frames after launch.
+// GenerateOracleData runs the spec's forced attacks on a default
+// engine and harvests one training sample per (launch state, elapsed
+// frames) pair: the input is the paper's [delta, vrel, arel, k] and
+// the label is the realized ground-truth safety potential k frames
+// after launch.
 func GenerateOracleData(spec OracleSpec, baseSeed int64) (nn.Dataset, error) {
-	var ds nn.Dataset
-	seed := baseSeed
+	return GenerateOracleDataOn(engine.New(), spec, baseSeed)
+}
+
+// forcedRun is one grid point of a training sweep.
+type forcedRun struct {
+	sweep   OracleSweep
+	dInject float64
+	kMax    int
+}
+
+// GenerateOracleDataOn runs the spec's forced attacks on eng. The
+// sweep grid is flattened into one batch of engine jobs; the dataset
+// folds in grid order, so it is identical for any worker count (and to
+// the historical sequential generator, whose j-th run used seed
+// baseSeed+1+j).
+func GenerateOracleDataOn(eng *engine.Engine, spec OracleSpec, baseSeed int64) (nn.Dataset, error) {
+	var grid []forcedRun
 	for _, sweep := range spec.Sweeps {
 		kMax := core.DefaultSafetyHijackerConfig().KMaxVehicle
 		if sweep.TargetClass == sim.ClassPedestrian {
@@ -80,29 +98,36 @@ func GenerateOracleData(spec OracleSpec, baseSeed int64) (nn.Dataset, error) {
 		}
 		for _, dInject := range spec.DeltaGrid {
 			for s := 0; s < spec.SeedsPerPoint; s++ {
-				seed++
-				rr, err := Run(RunConfig{
-					Scenario: sweep.Scenario,
-					Seed:     seed,
-					Attack: AttackSetup{
-						Mode:               core.ModeSmart,
-						PreferDisappearFor: sweep.PreferDisappearFor,
-						Forced:             &ForcedPlan{DeltaInject: dInject, K: kMax},
-					},
-				})
-				if err != nil {
-					return ds, fmt.Errorf("oracle data: %w", err)
-				}
-				if !rr.Launched {
-					continue
-				}
-				for j, delta := range rr.DeltaTrace {
-					if j == 0 || j > kMax {
-						continue
-					}
-					ds.Add(rr.LaunchState.Encode(j), delta)
-				}
+				grid = append(grid, forcedRun{sweep: sweep, dInject: dInject, kMax: kMax})
 			}
+		}
+	}
+
+	runs, err := engine.Map(eng, baseSeed+1, grid,
+		func(ctx context.Context, seed int64, fr forcedRun) (RunResult, error) {
+			return RunCtx(ctx, RunConfig{
+				Scenario: fr.sweep.Scenario,
+				Seed:     seed,
+				Attack: AttackSetup{
+					Mode:               core.ModeSmart,
+					PreferDisappearFor: fr.sweep.PreferDisappearFor,
+					Forced:             &ForcedPlan{DeltaInject: fr.dInject, K: fr.kMax},
+				},
+			})
+		})
+	var ds nn.Dataset
+	if err != nil {
+		return ds, fmt.Errorf("oracle data: %w", err)
+	}
+	for i, rr := range runs {
+		if !rr.Launched {
+			continue
+		}
+		for j, delta := range rr.DeltaTrace {
+			if j == 0 || j > grid[i].kMax {
+				continue
+			}
+			ds.Add(rr.LaunchState.Encode(j), delta)
 		}
 	}
 	return ds, nil
@@ -117,12 +142,20 @@ type TrainedOracle struct {
 }
 
 // TrainOracles generates data and trains one network per attack vector,
-// using the paper's architecture and 60/40 split.
+// using the paper's architecture and 60/40 split. Data generation runs
+// on a default engine.
 func TrainOracles(specs []OracleSpec, baseSeed int64, cfg nn.TrainConfig) (map[core.Vector]core.Oracle, []TrainedOracle, error) {
+	return TrainOraclesOn(engine.New(), specs, baseSeed, cfg)
+}
+
+// TrainOraclesOn generates training data on eng (the episode fan-out
+// dominates the wall clock) and trains one network per attack vector
+// sequentially, so the fitted weights stay deterministic in baseSeed.
+func TrainOraclesOn(eng *engine.Engine, specs []OracleSpec, baseSeed int64, cfg nn.TrainConfig) (map[core.Vector]core.Oracle, []TrainedOracle, error) {
 	oracles := make(map[core.Vector]core.Oracle, len(specs))
 	infos := make([]TrainedOracle, 0, len(specs))
 	for i, spec := range specs {
-		ds, err := GenerateOracleData(spec, baseSeed+int64(i)*10_000)
+		ds, err := GenerateOracleDataOn(eng, spec, baseSeed+int64(i)*10_000)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -212,6 +212,37 @@ func NewRegressor(inputDim int, rng *stats.RNG) *Network {
 	}}
 }
 
+// Clone returns an independent inference copy of the network: dense
+// weights and biases are deep-copied and every layer gets fresh
+// forward-pass scratch state. Layers keep per-call activation caches
+// (Dense.x, ReLU.mask), so a single Network must not be shared across
+// goroutines — parallel episode runners clone the trained oracle nets
+// instead. Clones carry no dropout RNG; they are for inference
+// (train=false) only.
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]Layer, 0, len(n.Layers))}
+	for _, l := range n.Layers {
+		switch l := l.(type) {
+		case *Dense:
+			d := &Dense{
+				In: l.In, Out: l.Out,
+				W:  append([]float64(nil), l.W...),
+				B:  append([]float64(nil), l.B...),
+				gw: make([]float64, len(l.gw)),
+				gb: make([]float64, len(l.gb)),
+			}
+			out.Layers = append(out.Layers, d)
+		case *ReLU:
+			out.Layers = append(out.Layers, &ReLU{})
+		case *Dropout:
+			out.Layers = append(out.Layers, &Dropout{Rate: l.Rate})
+		default:
+			panic(fmt.Sprintf("nn: Clone: unsupported layer %T", l))
+		}
+	}
+	return out
+}
+
 // Forward runs the network. train enables dropout.
 func (n *Network) Forward(x []float64, train bool) []float64 {
 	for _, l := range n.Layers {
