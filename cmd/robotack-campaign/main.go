@@ -3,11 +3,19 @@
 // Episodes fan out across an engine worker pool; results are
 // bit-identical for any -workers value, and Ctrl-C cancels the sweep.
 //
+// Besides the paper's Table II sweep over DS-1..DS-5, the campaign can
+// evaluate a declarative JSON scenario spec or the procedural scenario
+// generator: golden, smart-attack and random-baseline campaigns run on
+// the custom source instead.
+//
 // Usage:
 //
 //	robotack-campaign -runs 150            # paper-scale Table II + figures
 //	robotack-campaign -runs 30 -train=false  # quicker, analytic oracle
 //	robotack-campaign -workers 4           # cap the worker pool
+//	robotack-campaign -scenario-file my_world.json -runs 50
+//	robotack-campaign -generate -runs 100  # scenario-diversity sweep
+//	robotack-campaign -list-scenarios
 package main
 
 import (
@@ -21,6 +29,8 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/scenegen"
 )
 
 func main() {
@@ -32,12 +42,22 @@ func main() {
 
 func run() error {
 	var (
-		runs    = flag.Int("runs", 40, "episodes per campaign (paper: 101-185)")
-		seed    = flag.Int64("seed", 1000, "base seed")
-		train   = flag.Bool("train", true, "train the safety-hijacker NNs first (else analytic oracle)")
-		workers = flag.Int("workers", engine.DefaultWorkers(), "parallel episode workers")
+		runs         = flag.Int("runs", 40, "episodes per campaign (paper: 101-185)")
+		seed         = flag.Int64("seed", 1000, "base seed")
+		train        = flag.Bool("train", true, "train the safety-hijacker NNs first (else analytic oracle)")
+		workers      = flag.Int("workers", engine.DefaultWorkers(), "parallel episode workers")
+		scenarioFile = flag.String("scenario-file", "", "evaluate a JSON scenario spec instead of Table II")
+		generate     = flag.Bool("generate", false, "evaluate procedurally generated scenarios instead of Table II")
+		list         = flag.Bool("list-scenarios", false, "list registered scenario specs and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range scenegen.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -54,6 +74,18 @@ func run() error {
 	)
 	fmt.Printf("engine: %d workers\n", eng.Workers())
 
+	var custom scenario.Source
+	switch {
+	case *scenarioFile != "":
+		spec, err := scenegen.LoadFile(*scenarioFile)
+		if err != nil {
+			return err
+		}
+		custom = scenario.FromSpec(spec)
+	case *generate:
+		custom = scenario.FromGenerator(scenegen.NewGenerator(scenegen.DefaultSpace()))
+	}
+
 	var oracles map[core.Vector]core.Oracle
 	if *train {
 		fmt.Println("training safety-hijacker oracles (paper §IV-B)...")
@@ -68,6 +100,10 @@ func run() error {
 			fmt.Printf("  %v: %d samples, validation MAE %.2f m\n",
 				info.Vector, info.Samples, info.Result.ValMAE)
 		}
+	}
+
+	if custom != nil {
+		return runCustom(eng, custom, *runs, *seed, oracles)
 	}
 
 	campaigns := experiment.TableIICampaigns()
@@ -106,5 +142,35 @@ func run() error {
 	fmt.Print(experiment.FormatSummary(
 		experiment.Summarize(smart),
 		experiment.Summarize(withSH[len(withSH)-1:])))
+	return nil
+}
+
+// runCustom evaluates one scenario source (a spec file or the
+// procedural generator): an attack-free golden baseline, the smart
+// malware and the random baseline, each over the same seeds.
+func runCustom(eng *engine.Engine, src scenario.Source, runs int, seed int64, oracles map[core.Vector]core.Oracle) error {
+	golden, err := experiment.RunGoldenOn(eng, src, runs, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("golden   %-20s EB %d/%d  crash %d/%d\n",
+		src.Label(), golden.EBs, golden.Runs, golden.Crashes, golden.Runs)
+
+	campaigns := []experiment.Campaign{
+		{Name: src.Label() + "-Smart-R", Scenario: src, Mode: core.ModeSmart, ExpectCrashes: true},
+		{Name: src.Label() + "-Baseline-Random", Scenario: src, Mode: core.ModeRandom, ExpectCrashes: true},
+	}
+	results := make([]experiment.CampaignResult, 0, len(campaigns))
+	for _, c := range campaigns {
+		res, err := experiment.RunCampaignOn(eng, c, runs, seed, oracles)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Printf("campaign %-24s done (%d runs)\n", c.Name, res.Runs)
+	}
+
+	fmt.Println("\n=== Custom-scenario results ===")
+	fmt.Print(experiment.FormatTableII(results))
 	return nil
 }

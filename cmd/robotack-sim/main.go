@@ -3,10 +3,16 @@
 // on the camera link — and prints the outcome. The episode is
 // submitted through the execution engine, so Ctrl-C aborts it cleanly.
 //
+// The scenario can come from the built-in registry (DS-1..DS-5), from a
+// declarative JSON spec file, or from the procedural generator.
+//
 // Usage:
 //
 //	robotack-sim -scenario 2 -mode smart -seed 7
 //	robotack-sim -scenario 1 -mode golden
+//	robotack-sim -scenario-file my_world.json -mode smart
+//	robotack-sim -generate -seed 42 -mode smart   # procedural scenario
+//	robotack-sim -list-scenarios
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/scenegen"
 	"github.com/robotack/robotack/internal/sim"
 )
 
@@ -32,12 +39,34 @@ func main() {
 
 func run() error {
 	var (
-		scenarioID = flag.Int("scenario", 1, "driving scenario 1-5 (paper DS-1..DS-5)")
-		mode       = flag.String("mode", "smart", "attack mode: golden | smart | nosh | random")
-		vector     = flag.String("vector", "", "steer Table I's Move_Out/Disappear choice: disappear-vehicles | disappear-pedestrians")
-		seed       = flag.Int64("seed", 1, "episode seed")
+		scenarioID   = flag.Int("scenario", 1, "driving scenario 1-5 (paper DS-1..DS-5)")
+		scenarioFile = flag.String("scenario-file", "", "JSON scenario spec file (overrides -scenario)")
+		generate     = flag.Bool("generate", false, "procedurally generate the scenario from -seed")
+		list         = flag.Bool("list-scenarios", false, "list registered scenario specs and exit")
+		mode         = flag.String("mode", "smart", "attack mode: golden | smart | nosh | random")
+		vector       = flag.String("vector", "", "steer Table I's Move_Out/Disappear choice: disappear-vehicles | disappear-pedestrians")
+		seed         = flag.Int64("seed", 1, "episode seed")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range scenegen.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	src := scenario.Source(scenario.ID(*scenarioID))
+	switch {
+	case *scenarioFile != "":
+		spec, err := scenegen.LoadFile(*scenarioFile)
+		if err != nil {
+			return err
+		}
+		src = scenario.FromSpec(spec)
+	case *generate:
+		src = scenario.FromGenerator(scenegen.NewGenerator(scenegen.DefaultSpace()))
+	}
 
 	setup := experiment.AttackSetup{}
 	switch *mode {
@@ -70,9 +99,9 @@ func run() error {
 	results, err := eng.RunAll(*seed, []engine.Job{
 		func(ctx context.Context, jobSeed int64) (any, error) {
 			return experiment.RunCtx(ctx, experiment.RunConfig{
-				Scenario: scenario.ID(*scenarioID),
-				Seed:     jobSeed,
-				Attack:   setup,
+				Source: src,
+				Seed:   jobSeed,
+				Attack: setup,
 			})
 		},
 	})
@@ -81,8 +110,8 @@ func run() error {
 	}
 	res := results[0].Value.(experiment.RunResult)
 
-	fmt.Printf("scenario DS-%d, mode %s, seed %d: %d frames simulated\n",
-		*scenarioID, *mode, *seed, res.Frames)
+	fmt.Printf("scenario %s, mode %s, seed %d: %d frames simulated\n",
+		src.Label(), *mode, *seed, res.Frames)
 	if setup.Mode != 0 {
 		if res.Launched {
 			fmt.Printf("attack: %v on %v at frame %d, K=%d frames (K'=%d), delta at launch %.1f m\n",

@@ -12,10 +12,12 @@ import (
 )
 
 // Campaign is one experimental campaign of Table II: a driving scenario
-// paired with an attack vector and strategy.
+// paired with an attack vector and strategy. Scenario is any
+// scenario.Source — a paper ID, a named or file-loaded spec, or a
+// procedural generator for diversity sweeps.
 type Campaign struct {
 	Name     string
-	Scenario scenario.ID
+	Scenario scenario.Source
 	Mode     core.Mode
 	// PreferDisappearFor steers Table I's interchangeable cell so the
 	// campaign exercises the intended vector.
@@ -112,8 +114,8 @@ func RunCampaignOn(eng *engine.Engine, c Campaign, runs int, baseSeed int64, ora
 	for i := range jobs {
 		jobs[i] = func(ctx context.Context, seed int64) (any, error) {
 			return RunCtx(ctx, RunConfig{
-				Scenario: c.Scenario,
-				Seed:     seed,
+				Source: c.Scenario,
+				Seed:   seed,
 				Attack: AttackSetup{
 					Mode:               c.Mode,
 					PreferDisappearFor: c.PreferDisappearFor,
@@ -163,32 +165,32 @@ func RunCampaignOn(eng *engine.Engine, c Campaign, runs int, baseSeed int64, ora
 // GoldenResult summarizes attack-free runs of a scenario (sanity
 // baseline: the paper's golden runs are incident-free).
 type GoldenResult struct {
-	Scenario scenario.ID
+	Scenario scenario.Source
 	Runs     int
 	EBs      int
 	Crashes  int
 }
 
 // RunGolden executes attack-free episodes on a default engine.
-func RunGolden(id scenario.ID, runs int, baseSeed int64) (GoldenResult, error) {
-	return RunGoldenOn(engine.New(), id, runs, baseSeed)
+func RunGolden(src scenario.Source, runs int, baseSeed int64) (GoldenResult, error) {
+	return RunGoldenOn(engine.New(), src, runs, baseSeed)
 }
 
 // RunGoldenOn executes attack-free episodes on eng.
-func RunGoldenOn(eng *engine.Engine, id scenario.ID, runs int, baseSeed int64) (GoldenResult, error) {
+func RunGoldenOn(eng *engine.Engine, src scenario.Source, runs int, baseSeed int64) (GoldenResult, error) {
 	jobs := make([]engine.Job, runs)
 	for i := range jobs {
 		jobs[i] = func(ctx context.Context, seed int64) (any, error) {
-			return RunCtx(ctx, RunConfig{Scenario: id, Seed: seed})
+			return RunCtx(ctx, RunConfig{Source: src, Seed: seed})
 		}
 	}
 	results, runErr := eng.RunAll(baseSeed, jobs)
 
-	res := GoldenResult{Scenario: id}
+	res := GoldenResult{Scenario: src}
 	for _, r := range results {
 		if r.Err != nil {
-			if runErr == nil {
-				runErr = r.Err
+			if runErr == nil || runErr == r.Err {
+				runErr = fmt.Errorf("golden %s run %d: %w", src.Label(), r.Index, r.Err)
 			}
 			continue
 		}

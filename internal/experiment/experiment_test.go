@@ -12,6 +12,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/nn"
 	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/scenegen"
 	"github.com/robotack/robotack/internal/sim"
 	"github.com/robotack/robotack/internal/stats"
 )
@@ -74,6 +75,53 @@ func TestRandomBaselineWeakerThanSmartOnPed(t *testing.T) {
 	if sRes.EBs+sRes.Crashes <= rRes.EBs+rRes.Crashes {
 		t.Errorf("smart hazards (%d) should exceed random hazards (%d)",
 			sRes.EBs+sRes.Crashes, rRes.EBs+rRes.Crashes)
+	}
+}
+
+func TestGoldenErrorsCarryScenarioAndRun(t *testing.T) {
+	// ID 0 is invalid, so every episode fails; the aggregate error must
+	// name the scenario and the run index like campaign errors do.
+	_, err := RunGoldenOn(engine.New(engine.WithWorkers(1)), scenario.ID(0), 3, 1)
+	if err == nil {
+		t.Fatal("golden runs on an invalid scenario must fail")
+	}
+	if want := "golden DS-?(0) run 0:"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestCampaignOnGeneratedSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	src := scenario.FromGenerator(scenegen.NewGenerator(scenegen.DefaultSpace()))
+	c := Campaign{Name: "gen-smart", Scenario: src, Mode: core.ModeSmart, ExpectCrashes: true}
+	a, err := RunCampaignOn(engine.New(engine.WithWorkers(4)), c, 10, 4200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != 10 {
+		t.Fatalf("runs = %d, want 10", a.Runs)
+	}
+	if a.Launched < 6 {
+		t.Errorf("launched %d/10; the malware should fire in most generated scenarios", a.Launched)
+	}
+	// Same seeds, same generator: the diversity campaign itself is
+	// deterministic.
+	b, err := RunCampaignOn(engine.New(engine.WithWorkers(1)), c, 10, 4200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("generated-source campaign not deterministic:\n%+v\n%+v", a, b)
+	}
+
+	golden, err := RunGoldenOn(engine.New(), src, 10, 4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Crashes > 2 {
+		t.Errorf("golden runs on generated scenarios crashed %d/10 times", golden.Crashes)
 	}
 }
 

@@ -42,9 +42,23 @@ type ForcedPlan struct {
 
 // RunConfig fully describes one episode.
 type RunConfig struct {
+	// Scenario selects a paper scenario by ID. Ignored when Source is
+	// set.
 	Scenario scenario.ID
-	Seed     int64
-	Attack   AttackSetup
+	// Source, when non-nil, supplies the episode's world: a named
+	// registry spec, a spec loaded from JSON, a procedural generator —
+	// anything implementing scenario.Source.
+	Source scenario.Source
+	Seed   int64
+	Attack AttackSetup
+}
+
+// source resolves the episode's scenario source.
+func (cfg *RunConfig) source() scenario.Source {
+	if cfg.Source != nil {
+		return cfg.Source
+	}
+	return cfg.Scenario
 }
 
 // RunResult is everything the campaigns and figures need from one
@@ -103,7 +117,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 // context: a canceled ctx aborts the frame loop promptly and returns
 // ctx.Err(). The episode itself is deterministic in cfg.Seed.
 func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
-	scn, err := scenario.Build(cfg.Scenario, stats.NewRNG(cfg.Seed))
+	scn, err := cfg.source().Instantiate(stats.NewRNG(cfg.Seed))
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiment: %w", err)
 	}

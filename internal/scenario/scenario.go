@@ -1,11 +1,14 @@
-// Package scenario builds the five driving scenarios of the paper's
-// §V-C (Fig. 4) on the simulator: DS-1 (vehicle following), DS-2
+// Package scenario exposes the driving scenarios the experiments run
+// on: the paper's §V-C (Fig. 4) set — DS-1 (vehicle following), DS-2
 // (jaywalking pedestrian), DS-3 (parked vehicle), DS-4 (pedestrian
-// walking toward the EV in the parking lane) and DS-5 (mixed traffic,
-// the random-attack baseline scenario).
+// walking toward the EV in the parking lane), DS-5 (mixed traffic, the
+// random-attack baseline scenario) — plus anything expressed as a
+// scenegen spec: named registry entries, JSON spec files and
+// procedurally generated worlds all build into the same Scenario type
+// through the Source interface.
 //
-// All scenarios run on a 50 kph road with the EV cruising at 45 kph,
-// as in the paper. A builder accepts an optional jitter RNG; the
+// All built-in scenarios run on a 50 kph road with the EV cruising at
+// 45 kph, as in the paper. Builders accept an optional jitter RNG; the
 // experiment harness uses it to vary initial conditions across runs the
 // way distinct LGSVL episodes would.
 package scenario
@@ -13,7 +16,7 @@ package scenario
 import (
 	"fmt"
 
-	"github.com/robotack/robotack/internal/geom"
+	"github.com/robotack/robotack/internal/scenegen"
 	"github.com/robotack/robotack/internal/sim"
 	"github.com/robotack/robotack/internal/stats"
 )
@@ -41,6 +44,8 @@ func (id ID) String() string {
 // Scenario is a ready-to-run simulation plus the metadata the
 // experiment harness needs.
 type Scenario struct {
+	// ID is the paper scenario this world came from, or zero for
+	// spec-file and generated scenarios.
 	ID          ID
 	Name        string
 	World       *sim.World
@@ -53,177 +58,82 @@ type Scenario struct {
 // Frames returns the scenario length in camera frames.
 func (s *Scenario) Frames() int { return int(s.Duration * sim.CameraHz) }
 
-// jitter returns base plus a uniform perturbation in [-spread, +spread],
-// or base when rng is nil (deterministic nominal scenario).
-func jitter(rng *stats.RNG, base, spread float64) float64 {
-	if rng == nil || spread == 0 {
-		return base
+// FromCompiled wraps a compiled scenegen spec into a Scenario,
+// recovering the paper ID when the spec is a built-in DS.
+func FromCompiled(c *scenegen.Compiled) *Scenario {
+	s := &Scenario{
+		Name:        c.Name,
+		World:       c.World,
+		TargetID:    c.TargetID,
+		TargetClass: c.TargetClass,
+		CruiseSpeed: c.CruiseSpeed,
+		Duration:    c.Duration,
 	}
-	return base + rng.Uniform(-spread, spread)
+	for _, id := range All() {
+		if id.String() == c.Name {
+			s.ID = id
+			break
+		}
+	}
+	return s
 }
 
-func newEVWorld(evSpeed float64) *sim.World {
-	ev := sim.DefaultEV()
-	ev.Speed = evSpeed
-	return sim.NewWorld(sim.DefaultRoad(), ev)
-}
-
-// Build constructs the scenario with the given ID. rng may be nil for
-// the nominal (jitter-free) variant.
+// Build constructs the scenario with the given ID from its registry
+// spec. rng may be nil for the nominal (jitter-free) variant. The
+// registry build is bit-identical to the historical hand-built
+// scenarios (see the golden-equivalence test).
 func Build(id ID, rng *stats.RNG) (*Scenario, error) {
-	switch id {
-	case DS1:
-		return BuildDS1(rng), nil
-	case DS2:
-		return BuildDS2(rng), nil
-	case DS3:
-		return BuildDS3(rng), nil
-	case DS4:
-		return BuildDS4(rng), nil
-	case DS5:
-		return BuildDS5(rng), nil
-	default:
-		return nil, fmt.Errorf("scenario: unknown id %d", int(id))
+	if id < DS1 || id > DS5 {
+		return nil, fmt.Errorf("scenario: unknown scenario %s", id)
 	}
+	spec, ok := scenegen.Lookup(id.String())
+	if !ok {
+		return nil, fmt.Errorf("scenario: registry is missing built-in %s", id)
+	}
+	c, err := scenegen.Compile(spec, rng)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return FromCompiled(c), nil
+}
+
+func mustBuild(id ID, rng *stats.RNG) *Scenario {
+	s, err := Build(id, rng)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // BuildDS1 is the vehicle-following scenario: a target vehicle cruises
 // at 25 kph, 60 m ahead of the EV, in the EV lane. Golden behaviour:
 // the EV closes the gap and settles ~20 m behind the TV. Used for the
 // Disappear and Move_Out attacks on a vehicle.
-func BuildDS1(rng *stats.RNG) *Scenario {
-	w := newEVWorld(jitter(rng, sim.Kph(45), sim.Kph(1.5)))
-	tvSpeed := jitter(rng, sim.Kph(25), sim.Kph(1.5))
-	gap := jitter(rng, 60, 5)
-	tv := &sim.Actor{
-		Class:    sim.ClassVehicle,
-		Pos:      geom.V(gap, 0),
-		Size:     sim.SizeSUV,
-		Behavior: &sim.Cruise{Speed: tvSpeed},
-	}
-	id := w.AddActor(tv)
-	return &Scenario{
-		ID: DS1, Name: "DS-1", World: w,
-		TargetID: id, TargetClass: sim.ClassVehicle,
-		CruiseSpeed: sim.Kph(45), Duration: 40,
-	}
-}
+func BuildDS1(rng *stats.RNG) *Scenario { return mustBuild(DS1, rng) }
 
 // BuildDS2 is the jaywalking-pedestrian scenario: a pedestrian waits at
 // the roadside and crosses the street when the EV comes within the
 // trigger gap. Golden behaviour: the EV brakes and stops more than 10 m
 // away. Used for the Disappear and Move_Out attacks on a pedestrian.
-func BuildDS2(rng *stats.RNG) *Scenario {
-	w := newEVWorld(jitter(rng, sim.Kph(45), sim.Kph(1.5)))
-	start := jitter(rng, 90, 6)
-	trigger := jitter(rng, 47, 4)
-	speed := jitter(rng, 1.4, 0.15)
-	ped := &sim.Actor{
-		Class: sim.ClassPedestrian,
-		Pos:   geom.V(start, 6),
-		Size:  sim.SizePedestrian,
-		Behavior: &sim.TriggeredCross{
-			TriggerGap: trigger,
-			CrossSpeed: speed,
-			ToY:        -6,
-		},
-	}
-	id := w.AddActor(ped)
-	return &Scenario{
-		ID: DS2, Name: "DS-2", World: w,
-		TargetID: id, TargetClass: sim.ClassPedestrian,
-		CruiseSpeed: sim.Kph(45), Duration: 30,
-	}
-}
+func BuildDS2(rng *stats.RNG) *Scenario { return mustBuild(DS2, rng) }
 
 // BuildDS3 is the parked-vehicle scenario: a target vehicle is parked
 // in the parking lane. Golden behaviour: the EV keeps its lane and
 // speed. Used for the Move_In attack on a vehicle.
-func BuildDS3(rng *stats.RNG) *Scenario {
-	w := newEVWorld(jitter(rng, sim.Kph(45), sim.Kph(1.5)))
-	pos := jitter(rng, 75, 8)
-	tv := &sim.Actor{
-		Class:    sim.ClassVehicle,
-		Pos:      geom.V(pos, 3.5),
-		Size:     sim.SizeCar,
-		Behavior: sim.Parked{},
-	}
-	id := w.AddActor(tv)
-	return &Scenario{
-		ID: DS3, Name: "DS-3", World: w,
-		TargetID: id, TargetClass: sim.ClassVehicle,
-		CruiseSpeed: sim.Kph(45), Duration: 20,
-	}
-}
+func BuildDS3(rng *stats.RNG) *Scenario { return mustBuild(DS3, rng) }
 
 // BuildDS4 is the walking-pedestrian scenario: a pedestrian walks
 // longitudinally toward the EV in the parking lane for 5 m, then stands
 // still. Golden behaviour: the EV slows to ~35 kph while the pedestrian
 // moves, then resumes. Used for the Move_In attack on a pedestrian.
-func BuildDS4(rng *stats.RNG) *Scenario {
-	w := newEVWorld(jitter(rng, sim.Kph(45), sim.Kph(1.5)))
-	pos := jitter(rng, 80, 8)
-	ped := &sim.Actor{
-		Class: sim.ClassPedestrian,
-		Pos:   geom.V(pos, 3.3),
-		Size:  sim.SizePedestrian,
-		Behavior: &sim.WalkThenStop{
-			Speed:    jitter(rng, 1.2, 0.2),
-			Distance: 5,
-		},
-	}
-	id := w.AddActor(ped)
-	return &Scenario{
-		ID: DS4, Name: "DS-4", World: w,
-		TargetID: id, TargetClass: sim.ClassPedestrian,
-		CruiseSpeed: sim.Kph(45), Duration: 20,
-	}
-}
+func BuildDS4(rng *stats.RNG) *Scenario { return mustBuild(DS4, rng) }
 
 // BuildDS5 is the mixed-traffic baseline scenario: the EV follows a
 // target vehicle exactly as in DS-1, with additional NPC vehicles at
 // random speeds and positions in the opposite lane and behind the EV.
 // The random-attack baseline (Table II row DS-5-Baseline-Random) runs
 // on this scenario.
-func BuildDS5(rng *stats.RNG) *Scenario {
-	s := BuildDS1(rng)
-	s.ID, s.Name = DS5, "DS-5"
-	w := s.World
-	n := 3
-	if rng != nil {
-		n += rng.IntN(3)
-	}
-	for i := 0; i < n; i++ {
-		x := jitter(rng, 120+40*float64(i), 25)
-		speed := -jitter(rng, sim.Kph(35), sim.Kph(10))
-		w.AddActor(&sim.Actor{
-			Class:    sim.ClassVehicle,
-			Pos:      geom.V(x, -3.5),
-			Size:     sim.SizeCar,
-			Behavior: &sim.Cruise{Speed: speed},
-		})
-	}
-	// Farther traffic ahead in the EV lane, beyond the target vehicle.
-	for i := 0; i < 2; i++ {
-		w.AddActor(&sim.Actor{
-			Class:    sim.ClassVehicle,
-			Pos:      geom.V(jitter(rng, 110+45*float64(i), 15), 0),
-			Size:     sim.SizeCar,
-			Behavior: &sim.SafeCruise{Speed: jitter(rng, sim.Kph(28), sim.Kph(4))},
-		})
-	}
-	// One NPC trailing the EV in its own lane; it yields to the EV
-	// instead of blindly rear-ending it when the EV brakes.
-	w.AddActor(&sim.Actor{
-		Class: sim.ClassVehicle,
-		Pos:   geom.V(jitter(rng, -45, 8), 0),
-		Size:  sim.SizeCar,
-		Behavior: &sim.SafeCruise{
-			Speed: jitter(rng, sim.Kph(35), sim.Kph(5)),
-		},
-	})
-	return s
-}
+func BuildDS5(rng *stats.RNG) *Scenario { return mustBuild(DS5, rng) }
 
 // All returns all five scenario IDs in order.
 func All() []ID { return []ID{DS1, DS2, DS3, DS4, DS5} }

@@ -2,8 +2,10 @@ package scenario
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"github.com/robotack/robotack/internal/scenegen"
 	"github.com/robotack/robotack/internal/sim"
 	"github.com/robotack/robotack/internal/stats"
 )
@@ -29,9 +31,35 @@ func TestBuildAll(t *testing.T) {
 	}
 }
 
-func TestBuildUnknown(t *testing.T) {
-	if _, err := Build(ID(99), nil); err == nil {
-		t.Fatal("expected error for unknown scenario")
+// TestUnknownIDFormatting pins the shared unknown-ID style: String()
+// renders DS-?(n) and Build's error embeds exactly that rendering.
+func TestUnknownIDFormatting(t *testing.T) {
+	cases := []struct {
+		id       ID
+		str      string
+		buildErr string
+	}{
+		{0, "DS-?(0)", "scenario: unknown scenario DS-?(0)"},
+		{-3, "DS-?(-3)", "scenario: unknown scenario DS-?(-3)"},
+		{6, "DS-?(6)", "scenario: unknown scenario DS-?(6)"},
+		{99, "DS-?(99)", "scenario: unknown scenario DS-?(99)"},
+	}
+	for _, tc := range cases {
+		if got := tc.id.String(); got != tc.str {
+			t.Errorf("ID(%d).String() = %q, want %q", int(tc.id), got, tc.str)
+		}
+		_, err := Build(tc.id, nil)
+		if err == nil {
+			t.Fatalf("Build(%d) succeeded, want error", int(tc.id))
+		}
+		if err.Error() != tc.buildErr {
+			t.Errorf("Build(%d) error = %q, want %q", int(tc.id), err.Error(), tc.buildErr)
+		}
+	}
+	for _, id := range All() {
+		if _, err := Build(id, nil); err != nil {
+			t.Errorf("Build(%v) = %v, want success", id, err)
+		}
 	}
 }
 
@@ -127,5 +155,53 @@ func TestNilJitterIsNominal(t *testing.T) {
 	a, b := BuildDS2(nil), BuildDS2(nil)
 	if a.World.Actor(a.TargetID).Pos != b.World.Actor(b.TargetID).Pos {
 		t.Fatal("nil-jitter scenarios must be identical")
+	}
+}
+
+// TestSources covers the Source implementations: IDs, named registry
+// lookups, in-memory specs and the procedural generator all produce
+// runnable scenarios, and equal seeds give equal worlds.
+func TestSources(t *testing.T) {
+	srcs := []Source{
+		DS2,
+		Named("DS-2"),
+		FromSpec(scenegen.DS2Spec()),
+		FromGenerator(scenegen.NewGenerator(scenegen.DefaultSpace())),
+	}
+	for _, src := range srcs {
+		if src.Label() == "" {
+			t.Errorf("%T: empty label", src)
+		}
+		a, err := src.Instantiate(stats.NewRNG(11))
+		if err != nil {
+			t.Fatalf("%s: %v", src.Label(), err)
+		}
+		b, err := src.Instantiate(stats.NewRNG(11))
+		if err != nil {
+			t.Fatalf("%s: %v", src.Label(), err)
+		}
+		if a.World.Actor(a.TargetID) == nil {
+			t.Errorf("%s: target missing", src.Label())
+		}
+		if a.Frames() <= 0 {
+			t.Errorf("%s: no frames", src.Label())
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed gave different scenarios", src.Label())
+		}
+	}
+	// ID, Named and FromSpec views of DS-2 agree with each other too.
+	want, _ := DS2.Instantiate(stats.NewRNG(4))
+	for _, src := range srcs[1:3] {
+		got, err := src.Instantiate(stats.NewRNG(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: differs from Build(DS2)", src.Label())
+		}
+	}
+	if _, err := Named("no-such-scenario").Instantiate(nil); err == nil {
+		t.Error("unknown name must fail to instantiate")
 	}
 }

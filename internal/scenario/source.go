@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/robotack/robotack/internal/scenegen"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// Source is anything that can instantiate a scenario for an episode: a
+// paper ID, a named registry spec, an in-memory spec (e.g. loaded from
+// a JSON file) or a procedural generator. The experiment harness takes
+// a Source wherever it used to take an ID; ID itself implements Source,
+// so existing call sites pass IDs unchanged.
+//
+// Instantiate draws every random choice from rng, so one episode seed
+// maps to exactly one world regardless of worker scheduling. Sources
+// are shared across concurrent episodes and must be stateless.
+type Source interface {
+	// Label names the source in reports and error messages.
+	Label() string
+	// Instantiate builds a fresh scenario; rng may be nil for the
+	// nominal variant where the source supports one.
+	Instantiate(rng *stats.RNG) (*Scenario, error)
+}
+
+// Label implements Source.
+func (id ID) Label() string { return id.String() }
+
+// Instantiate implements Source.
+func (id ID) Instantiate(rng *stats.RNG) (*Scenario, error) { return Build(id, rng) }
+
+// FromSpec returns a Source that compiles the given spec each episode.
+// The spec is shared, not copied; it must not be mutated afterwards.
+func FromSpec(spec *scenegen.Spec) Source { return specSource{spec} }
+
+type specSource struct{ spec *scenegen.Spec }
+
+func (s specSource) Label() string { return s.spec.Name }
+
+func (s specSource) Instantiate(rng *stats.RNG) (*Scenario, error) {
+	c, err := scenegen.Compile(s.spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	return FromCompiled(c), nil
+}
+
+// Named returns a Source that resolves name in the scenegen registry at
+// instantiation time.
+func Named(name string) Source { return namedSource(name) }
+
+type namedSource string
+
+func (n namedSource) Label() string { return string(n) }
+
+func (n namedSource) Instantiate(rng *stats.RNG) (*Scenario, error) {
+	spec, ok := scenegen.Lookup(string(n))
+	if !ok {
+		return nil, fmt.Errorf("scenario: no registered scenario %q (have %v)", string(n), scenegen.Names())
+	}
+	c, err := scenegen.Compile(spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	return FromCompiled(c), nil
+}
+
+// FromGenerator returns a Source that samples a fresh procedural
+// scenario from gen on every instantiation — each episode seed yields a
+// different world from the generator's space, which is what a
+// scenario-diversity campaign sweeps over.
+func FromGenerator(gen *scenegen.Generator) Source { return genSource{gen} }
+
+type genSource struct{ gen *scenegen.Generator }
+
+func (g genSource) Label() string { return "generated" }
+
+func (g genSource) Instantiate(rng *stats.RNG) (*Scenario, error) {
+	if rng == nil {
+		rng = stats.NewRNG(0)
+	}
+	spec, err := g.gen.Generate(rng, "generated")
+	if err != nil {
+		return nil, err
+	}
+	c, err := scenegen.Compile(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	return FromCompiled(c), nil
+}

@@ -1,0 +1,57 @@
+package scenegen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to specs. The paper's DS-1..DS-5 are
+// registered at init; campaigns, the CLIs and tests can register more.
+var registry = struct {
+	sync.RWMutex
+	m map[string]*Spec
+}{m: make(map[string]*Spec)}
+
+// Register validates the spec and adds it under its name. Registering a
+// name twice is an error; registered specs are shared and must not be
+// mutated afterwards.
+func Register(s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[s.Name]; dup {
+		return fmt.Errorf("scenegen: scenario %q already registered", s.Name)
+	}
+	registry.m[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register for init-time built-ins.
+func MustRegister(s *Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered spec with the given name.
+func Lookup(name string) (*Spec, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.m[name]
+	return s, ok
+}
+
+// Names returns all registered scenario names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,215 @@
+package scenegen
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/robotack/robotack/internal/sim"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+func builtinSpecs() []*Spec {
+	return []*Spec{DS1Spec(), DS2Spec(), DS3Spec(), DS4Spec(), DS5Spec()}
+}
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"DS-1", "DS-2", "DS-3", "DS-4", "DS-5"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry is missing %s (have %v)", want, names)
+		}
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("Lookup(%q) failed", want)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndInvalid(t *testing.T) {
+	if err := Register(DS1Spec()); err == nil {
+		t.Error("re-registering DS-1 must fail")
+	}
+	if err := Register(&Spec{Name: "empty"}); err == nil {
+		t.Error("registering an invalid spec must fail")
+	}
+}
+
+// TestSpecJSONRoundTrip marshals every built-in spec to JSON, parses it
+// back and requires a deep-equal spec — the format loses nothing.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, spec := range builtinSpecs() {
+		data, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", spec.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", spec.Name, err, data)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Errorf("%s: round-trip drift\n got %+v\nwant %+v", spec.Name, back, spec)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFieldsAndInvalidSpecs(t *testing.T) {
+	if _, err := Parse([]byte(`{"name":"x","typo_field":1}`)); err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+	// Structurally valid JSON, semantically invalid spec (no target).
+	spec := DS1Spec()
+	spec.Actors[0].Target = false
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Errorf("target-less spec parse error = %v, want target complaint", err)
+	}
+}
+
+func TestValidateTargetRules(t *testing.T) {
+	spec := DS1Spec()
+	spec.Actors[0].Count = 3
+	if err := spec.Validate(); err == nil {
+		t.Error("a group target must be rejected")
+	}
+	spec = DS1Spec()
+	spec.Actors = append(spec.Actors, spec.Actors[0])
+	if err := spec.Validate(); err == nil {
+		t.Error("two targets must be rejected")
+	}
+}
+
+func TestCompileBuiltins(t *testing.T) {
+	for _, spec := range builtinSpecs() {
+		for _, rng := range []*stats.RNG{nil, stats.NewRNG(3)} {
+			c, err := Compile(spec, rng)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if c.World.Actor(c.TargetID) == nil {
+				t.Errorf("%s: target %d not in world", spec.Name, c.TargetID)
+			}
+			if c.Duration <= 0 || c.CruiseSpeed <= 0 {
+				t.Errorf("%s: bad metadata %+v", spec.Name, c)
+			}
+		}
+	}
+}
+
+func TestParamSample(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if got := P(5).Sample(rng); got != 5 {
+		t.Errorf("jitter-free sample = %v, want 5", got)
+	}
+	if got := (Param{Base: 5, Negate: true}).Sample(nil); got != -5 {
+		t.Errorf("negated nominal sample = %v, want -5", got)
+	}
+	for i := 0; i < 100; i++ {
+		v := PJ(10, 2).Sample(rng)
+		if v < 8 || v > 12 {
+			t.Fatalf("sample %v outside [8, 12]", v)
+		}
+	}
+	// Zero-jitter params must not consume randomness: the identically
+	// seeded stream stays aligned after sampling one.
+	a, b := stats.NewRNG(7), stats.NewRNG(7)
+	P(3).Sample(a)
+	if a.Float64() != b.Float64() {
+		t.Error("zero-jitter Sample consumed randomness")
+	}
+}
+
+// TestGeneratorDeterminism: one seed, one scenario — byte-identical
+// specs, and different seeds explore the space.
+func TestGeneratorDeterminism(t *testing.T) {
+	gen := NewGenerator(DefaultSpace())
+	for seed := int64(0); seed < 30; seed++ {
+		a, err := gen.Generate(stats.NewRNG(seed), "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := gen.Generate(stats.NewRNG(seed), "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: same seed produced different specs\n%+v\n%+v", seed, a, b)
+		}
+	}
+	a, _ := gen.Generate(stats.NewRNG(1), "g")
+	b, _ := gen.Generate(stats.NewRNG(2), "g")
+	if reflect.DeepEqual(a, b) {
+		t.Error("distinct seeds produced identical specs")
+	}
+}
+
+// TestGeneratorValidity: across many seeds, every generated spec
+// validates, compiles, has a reachable target ahead of the EV and no
+// initial footprint overlaps.
+func TestGeneratorValidity(t *testing.T) {
+	gen := NewGenerator(DefaultSpace())
+	kinds := map[string]int{}
+	for seed := int64(0); seed < 200; seed++ {
+		spec, err := gen.Generate(stats.NewRNG(seed), fmt.Sprintf("gen-%d", seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c, err := Compile(spec, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		target := c.World.Actor(c.TargetID)
+		if target == nil {
+			t.Fatalf("seed %d: target missing from world", seed)
+		}
+		if target.Pos.X <= c.World.EV.Pos.X {
+			t.Errorf("seed %d: target at x=%.1f is not ahead of the EV", seed, target.Pos.X)
+		}
+		if err := CheckOverlapFree(c.World); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		kinds[spec.Actors[0].Behavior.Kind]++
+	}
+	if len(kinds) < 3 {
+		t.Errorf("target behavior mix too narrow: %v", kinds)
+	}
+}
+
+// TestGeneratedSweepDensityVaries checks the density axis actually
+// spreads: the generator must produce both sparse and busy worlds.
+func TestGeneratedSweepDensityVaries(t *testing.T) {
+	gen := NewGenerator(DefaultSpace())
+	minN, maxN := 1<<30, 0
+	for seed := int64(0); seed < 100; seed++ {
+		spec, err := gen.Generate(stats.NewRNG(seed), "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(spec.Actors)
+		minN, maxN = min(minN, n), max(maxN, n)
+	}
+	if minN > 1 || maxN < 4 {
+		t.Errorf("actor counts span [%d, %d]; want a wider density spread", minN, maxN)
+	}
+}
+
+func TestCheckOverlapFree(t *testing.T) {
+	ev := sim.DefaultEV()
+	w := sim.NewWorld(sim.DefaultRoad(), ev)
+	w.AddActor(&sim.Actor{Class: sim.ClassVehicle, Pos: sim.DefaultEV().Pos, Size: sim.SizeCar})
+	if err := CheckOverlapFree(w); err == nil {
+		t.Error("actor on top of the EV must be reported")
+	}
+}
