@@ -138,7 +138,7 @@ func BenchmarkHeadline(b *testing.B) {
 				smart = append(smart, res)
 			}
 		}
-		s, r := experiment.Summarize(smart), experiment.Summarize(random)
+		s, r := experiment.Summarize(experiment.Records(smart)), experiment.Summarize(experiment.Records(random))
 		b.ReportMetric(100*float64(s.EBs)/float64(s.Runs), "robotack-EB%")
 		b.ReportMetric(100*float64(r.EBs)/float64(max(r.Runs, 1)), "random-EB%")
 		b.ReportMetric(100*float64(s.Crashes)/float64(max(s.CrashEligibleRuns, 1)), "robotack-crash%")

@@ -8,6 +8,11 @@
 // generator: golden, smart-attack and random-baseline campaigns run on
 // the custom source instead.
 //
+// With -out, every episode streams into a JSONL results store as it
+// completes; -resume folds already-persisted episodes back into the
+// aggregates (bit-identically) instead of re-running them, and
+// -compare diffs two stores' campaign aggregates.
+//
 // Usage:
 //
 //	robotack-campaign -runs 150            # paper-scale Table II + figures
@@ -15,6 +20,9 @@
 //	robotack-campaign -workers 4           # cap the worker pool
 //	robotack-campaign -scenario-file my_world.json -runs 50
 //	robotack-campaign -generate -runs 100  # scenario-diversity sweep
+//	robotack-campaign -runs 100 -out sweep.jsonl       # persist records
+//	robotack-campaign -runs 100 -out sweep.jsonl -resume  # pick up an interrupted sweep
+//	robotack-campaign -out new.jsonl -compare old.jsonl   # diff two stores and exit
 //	robotack-campaign -list-scenarios
 package main
 
@@ -29,6 +37,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
 )
@@ -49,6 +58,9 @@ func run() error {
 		scenarioFile = flag.String("scenario-file", "", "evaluate a JSON scenario spec instead of Table II")
 		generate     = flag.Bool("generate", false, "evaluate procedurally generated scenarios instead of Table II")
 		list         = flag.Bool("list-scenarios", false, "list registered scenario specs and exit")
+		out          = flag.String("out", "", "append episode and campaign records to this JSONL results store")
+		resume       = flag.Bool("resume", false, "fold episodes already persisted in -out back into the aggregates instead of re-running them")
+		compare      = flag.String("compare", "", "diff this JSONL store against -out and exit (no campaigns run)")
 	)
 	flag.Parse()
 
@@ -57,6 +69,44 @@ func run() error {
 			fmt.Println(name)
 		}
 		return nil
+	}
+
+	if *compare != "" {
+		if *out == "" {
+			return fmt.Errorf("-compare needs -out: the two stores to diff")
+		}
+		old, err := results.Load(*compare)
+		if err != nil {
+			return err
+		}
+		cur, err := results.Load(*out)
+		if err != nil {
+			return err
+		}
+		diffs, err := results.Diff(old, cur)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("diff %s → %s\n", *compare, *out)
+		fmt.Print(results.FormatDiff(diffs))
+		return nil
+	}
+	if *resume && *out == "" {
+		return fmt.Errorf("-resume needs -out: the store holding the interrupted sweep")
+	}
+
+	var opts []experiment.RunOption
+	if *out != "" {
+		store, err := results.Open(*out)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		opts = append(opts, experiment.WithSink(store))
+		if *resume {
+			opts = append(opts, experiment.WithResume(store))
+		}
+		fmt.Printf("results store: %s (resume=%v)\n", *out, *resume)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -103,21 +153,21 @@ func run() error {
 	}
 
 	if custom != nil {
-		return runCustom(eng, custom, *runs, *seed, oracles)
+		return runCustom(eng, custom, *runs, *seed, oracles, opts)
 	}
 
 	campaigns := experiment.TableIICampaigns()
 	withSH := make([]experiment.CampaignResult, 0, len(campaigns))
 	noSH := make([]experiment.CampaignResult, 0, len(campaigns))
 	for _, c := range campaigns {
-		res, err := experiment.RunCampaignOn(eng, c, *runs, *seed, oracles)
+		res, err := experiment.RunCampaignOn(eng, c, *runs, *seed, oracles, opts...)
 		if err != nil {
 			return err
 		}
 		withSH = append(withSH, res)
 		fmt.Printf("campaign %-24s done (%d runs)\n", c.Name, res.Runs)
 		if c.Mode == core.ModeSmart {
-			nres, err := experiment.RunCampaignOn(eng, c.WithoutSH(), *runs, *seed, oracles)
+			nres, err := experiment.RunCampaignOn(eng, c.WithoutSH(), *runs, *seed, oracles, opts...)
 			if err != nil {
 				return err
 			}
@@ -125,31 +175,33 @@ func run() error {
 		}
 	}
 
+	withRecs, noRecs := experiment.Records(withSH), experiment.Records(noSH)
+
 	fmt.Println("\n=== Table II ===")
-	fmt.Print(experiment.FormatTableII(withSH))
+	fmt.Print(experiment.FormatTableII(withRecs))
 
 	fmt.Println("\n=== Fig. 6 ===")
-	fmt.Print(experiment.FormatFig6(experiment.Fig6Rows(withSH[:len(noSH)], noSH)))
+	fmt.Print(experiment.FormatFig6(experiment.Fig6Rows(withRecs[:len(noRecs)], noRecs)))
 
 	fmt.Println("\n=== Fig. 7 ===")
-	fmt.Print(experiment.FormatFig7(withSH))
+	fmt.Print(experiment.FormatFig7(withRecs))
 
 	fmt.Println("\n=== Fig. 8 ===")
-	smart := withSH[:len(withSH)-1] // exclude the random baseline
+	smart := withRecs[:len(withRecs)-1] // exclude the random baseline
 	fmt.Print(experiment.FormatFig8(experiment.Fig8Bins(smart, 10, 6.7), smart))
 
 	fmt.Println("\n=== Headline summary (paper §VI) ===")
 	fmt.Print(experiment.FormatSummary(
 		experiment.Summarize(smart),
-		experiment.Summarize(withSH[len(withSH)-1:])))
+		experiment.Summarize(withRecs[len(withRecs)-1:])))
 	return nil
 }
 
 // runCustom evaluates one scenario source (a spec file or the
 // procedural generator): an attack-free golden baseline, the smart
 // malware and the random baseline, each over the same seeds.
-func runCustom(eng *engine.Engine, src scenario.Source, runs int, seed int64, oracles map[core.Vector]core.Oracle) error {
-	golden, err := experiment.RunGoldenOn(eng, src, runs, seed)
+func runCustom(eng *engine.Engine, src scenario.Source, runs int, seed int64, oracles map[core.Vector]core.Oracle, opts []experiment.RunOption) error {
+	golden, err := experiment.RunGoldenOn(eng, src, runs, seed, opts...)
 	if err != nil {
 		return err
 	}
@@ -160,17 +212,17 @@ func runCustom(eng *engine.Engine, src scenario.Source, runs int, seed int64, or
 		{Name: src.Label() + "-Smart-R", Scenario: src, Mode: core.ModeSmart, ExpectCrashes: true},
 		{Name: src.Label() + "-Baseline-Random", Scenario: src, Mode: core.ModeRandom, ExpectCrashes: true},
 	}
-	results := make([]experiment.CampaignResult, 0, len(campaigns))
+	res := make([]experiment.CampaignResult, 0, len(campaigns))
 	for _, c := range campaigns {
-		res, err := experiment.RunCampaignOn(eng, c, runs, seed, oracles)
+		r, err := experiment.RunCampaignOn(eng, c, runs, seed, oracles, opts...)
 		if err != nil {
 			return err
 		}
-		results = append(results, res)
-		fmt.Printf("campaign %-24s done (%d runs)\n", c.Name, res.Runs)
+		res = append(res, r)
+		fmt.Printf("campaign %-24s done (%d runs)\n", c.Name, r.Runs)
 	}
 
 	fmt.Println("\n=== Custom-scenario results ===")
-	fmt.Print(experiment.FormatTableII(results))
+	fmt.Print(experiment.FormatTableII(experiment.Records(res)))
 	return nil
 }

@@ -8,10 +8,12 @@
 //
 //	robotack-characterize -frames 9000   # the paper's 10-minute drive
 //	robotack-characterize -workers 3
+//	robotack-characterize -out fig5.json   # persist the characterization
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,7 @@ func run() error {
 		frames  = flag.Int("frames", 9000, "frames to drive (paper: 10 min at 15 Hz)")
 		seed    = flag.Int64("seed", 1, "seed")
 		workers = flag.Int("workers", engine.DefaultWorkers(), "parallel segment workers")
+		out     = flag.String("out", "", "write the characterization (distribution fits) as JSON")
 	)
 	flag.Parse()
 
@@ -45,6 +48,16 @@ func run() error {
 		return err
 	}
 	fmt.Print(experiment.FormatFig5(c))
+	if *out != "" {
+		raw, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("characterization written to %s\n", *out)
+	}
 	fmt.Println("\npaper reference values:")
 	fmt.Println("  pedestrian: Exp(loc=1, lambda=0.717) p99=31.0; dx N(0.254, 2.010) dy N(0.186, 0.409)")
 	fmt.Println("  vehicle:    Exp(loc=1, lambda=0.327) p99=59.4; dx N(0.023, 0.464) dy N(0.094, 0.586)")

@@ -1,0 +1,86 @@
+// Command robotack-serve exposes a JSONL results store over HTTP: it
+// lists stored campaigns, serves per-campaign records and episodes,
+// renders Table II summaries, diffs stores, and launches new campaigns
+// on the execution engine — episodes stream into the same store, so a
+// sweep started over the API is immediately queryable, resumable and
+// diffable by every client.
+//
+// Endpoints:
+//
+//	GET  /campaigns                    stored campaign aggregates
+//	GET  /campaigns/{name}             one aggregate
+//	GET  /campaigns/{name}/episodes    the campaign's episode records
+//	GET  /campaigns/{name}/summary     Table II text for one campaign
+//	GET  /summary                      Table II + headline summary for the store
+//	GET  /diff?other=path              diff the store against another JSONL store
+//	GET  /diff?a=name&b=name           diff two campaigns within the store
+//	POST /runs                         launch a campaign
+//	GET  /runs | /runs/{id}            launched runs' progress
+//
+// Usage:
+//
+//	robotack-serve -store results.jsonl
+//	robotack-serve -store results.jsonl -addr :9090 -workers 4
+//	curl -s localhost:8077/campaigns
+//	curl -s -X POST localhost:8077/runs -d '{"scenario":"DS-2","mode":"smart","runs":20,"seed":300}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/robotack/robotack/internal/campaignd"
+	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/results"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robotack-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		storePath = flag.String("store", "", "JSONL results store to serve (created if missing)")
+		addr      = flag.String("addr", ":8077", "listen address")
+		workers   = flag.Int("workers", engine.DefaultWorkers(), "engine workers for launched runs")
+	)
+	flag.Parse()
+	if *storePath == "" {
+		return fmt.Errorf("-store is required")
+	}
+
+	store, err := results.Open(*storePath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: campaignd.New(store, campaignd.WithWorkers(*workers)),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+
+	fmt.Printf("serving %s on %s (%d workers for launched runs)\n", *storePath, *addr, *workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

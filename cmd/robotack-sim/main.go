@@ -12,6 +12,7 @@
 //	robotack-sim -scenario 1 -mode golden
 //	robotack-sim -scenario-file my_world.json -mode smart
 //	robotack-sim -generate -seed 42 -mode smart   # procedural scenario
+//	robotack-sim -scenario 2 -out probes.jsonl    # append the episode record
 //	robotack-sim -list-scenarios
 package main
 
@@ -25,6 +26,7 @@ import (
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
 	"github.com/robotack/robotack/internal/sim"
@@ -46,6 +48,7 @@ func run() error {
 		mode         = flag.String("mode", "smart", "attack mode: golden | smart | nosh | random")
 		vector       = flag.String("vector", "", "steer Table I's Move_Out/Disappear choice: disappear-vehicles | disappear-pedestrians")
 		seed         = flag.Int64("seed", 1, "episode seed")
+		out          = flag.String("out", "", "append the episode's record to this JSONL results store")
 	)
 	flag.Parse()
 
@@ -96,7 +99,7 @@ func run() error {
 
 	// A one-job batch: the additive derivation hands the job exactly
 	// the -seed value.
-	results, err := eng.RunAll(*seed, []engine.Job{
+	batch, err := eng.RunAll(*seed, []engine.Job{
 		func(ctx context.Context, jobSeed int64) (any, error) {
 			return experiment.RunCtx(ctx, experiment.RunConfig{
 				Source: src,
@@ -108,7 +111,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res := results[0].Value.(experiment.RunResult)
+	res := batch[0].Value.(experiment.RunResult)
 
 	fmt.Printf("scenario %s, mode %s, seed %d: %d frames simulated\n",
 		src.Label(), *mode, *seed, res.Frames)
@@ -123,5 +126,20 @@ func run() error {
 	fmt.Printf("emergency braking: %v\n", res.EB)
 	fmt.Printf("accident (delta < 4 m): %v\n", res.Crashed)
 	fmt.Printf("min safety potential: %.1f m\n", res.MinDelta)
+
+	if *out != "" {
+		store, err := results.Open(*out)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		// One-shot probes share a campaign key per (scenario, mode, seed)
+		// so repeated identical invocations overwrite rather than pile up.
+		key := fmt.Sprintf("sim-%s-%s-seed%d", src.Label(), *mode, *seed)
+		if err := store.Append(experiment.RecordEpisode(key, 0, *seed, src.Label(), setup.Mode, true, res)); err != nil {
+			return err
+		}
+		fmt.Printf("episode record appended to %s (campaign %q)\n", *out, key)
+	}
 	return nil
 }

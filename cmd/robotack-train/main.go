@@ -9,10 +9,12 @@
 //
 //	robotack-train -out models/
 //	robotack-train -workers 4
+//	robotack-train -report training.json   # persist the training report
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func run() error {
 		seed    = flag.Int64("seed", 9000, "base seed")
 		epochs  = flag.Int("epochs", 60, "training epochs")
 		out     = flag.String("out", "", "directory to save model JSON files (optional)")
+		report  = flag.String("report", "", "write the per-vector training report (samples, MSE/MAE) as JSON")
 		workers = flag.Int("workers", engine.DefaultWorkers(), "parallel episode workers")
 	)
 	flag.Parse()
@@ -65,6 +68,33 @@ func run() error {
 			}
 			fmt.Printf("  saved %s\n", path)
 		}
+	}
+	if *report != "" {
+		type vectorReport struct {
+			Vector   string  `json:"vector"`
+			Samples  int     `json:"samples"`
+			TrainMSE float64 `json:"train_mse"`
+			ValMSE   float64 `json:"val_mse"`
+			ValMAE   float64 `json:"val_mae_m"`
+		}
+		reports := make([]vectorReport, 0, len(infos))
+		for _, info := range infos {
+			reports = append(reports, vectorReport{
+				Vector:   info.Vector.String(),
+				Samples:  info.Samples,
+				TrainMSE: info.Result.TrainMSE,
+				ValMSE:   info.Result.ValMSE,
+				ValMAE:   info.Result.ValMAE,
+			})
+		}
+		raw, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*report, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("training report written to %s\n", *report)
 	}
 	fmt.Println("paper reference: predictions within ~1-1.5 m (pedestrians) and ~5 m (vehicles)")
 	return nil

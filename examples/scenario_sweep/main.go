@@ -7,16 +7,24 @@
 // five hand-built worlds: each seed maps to one distinct generated
 // world, the whole sweep is deterministic, and both variants of each
 // scenario replay the same episode seed.
+//
+// Every episode also lands in a results store as a persistent record
+// (pass -out sweep.jsonl to keep it on disk); the closing
+// golden-vs-attack comparison is computed by reading the records back
+// out of the store, exactly as a later analysis — or another code
+// version's diff — would.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
 	"github.com/robotack/robotack/internal/stats"
@@ -40,6 +48,9 @@ type outcome struct {
 }
 
 func main() {
+	outPath := flag.String("out", "", "persist episode/campaign records to this JSONL store")
+	flag.Parse()
+
 	gen := scenegen.NewGenerator(scenegen.DefaultSpace())
 
 	// One generated world per seed; each runs golden and attacked.
@@ -121,6 +132,43 @@ func main() {
 		}
 	}
 
+	// Persist every episode as a record: the sweep's two campaigns
+	// become durable artifacts a later analysis (or robotack-serve, or
+	// a cross-version diff) can consume without re-simulating.
+	var store results.Store = results.NewMemStore()
+	if *outPath != "" {
+		fs, err := results.Open(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fs.Close()
+		store = fs
+	}
+	campaignKey := func(attacked bool) (string, core.Mode) {
+		if attacked {
+			return "sweep-smart", core.ModeSmart
+		}
+		return "sweep-golden", 0
+	}
+	for j, o := range outs {
+		key, mode := campaignKey(o.attacked)
+		ep := experiment.RecordEpisode(key, j/2, eps[j].seed, eps[j].spec.Name, mode, true, o.res)
+		if err := store.Append(ep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, attacked := range []bool{false, true} {
+		key, mode := campaignKey(attacked)
+		stored, err := store.Episodes(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := results.Aggregate(results.NewCampaign(key, "generated", mode, true, baseSeed), stored)
+		if err := store.PutCampaign(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	fmt.Printf("scenario sweep: %d generated scenarios x {golden, smart attack}\n\n", numScenarios)
 	fmt.Printf("%-22s %9s %12s %12s %12s %12s %9s\n",
 		"density", "scenarios", "golden EB", "golden crash", "attack EB", "attack crash", "launched")
@@ -135,5 +183,18 @@ func main() {
 			b.label, b.n,
 			pct(b.goldenEB, b.n), pct(b.goldenCrash, b.n),
 			pct(b.attEB, b.n), pct(b.attCrash, b.n), pct(b.fired, b.n))
+	}
+
+	// The headline attack effect, computed purely from stored records.
+	recs, err := store.Campaigns()
+	if err != nil || len(recs) != 2 {
+		log.Fatalf("stored campaigns: %v (%d records)", err, len(recs))
+	}
+	d := results.DiffRecords("golden → smart", &recs[0], &recs[1])
+	fmt.Printf("\nfrom the results store (%d stored campaigns):\n", len(recs))
+	fmt.Printf("  attack moved EB rate %+.0f%% and crash rate %+.0f%% across %d generated worlds\n",
+		100*d.EBRateDelta, 100*d.CrashRateDelta, numScenarios)
+	if *outPath != "" {
+		fmt.Printf("  records saved to %s — try: robotack-serve -store %s\n", *outPath, *outPath)
 	}
 }

@@ -1,0 +1,392 @@
+// Package campaignd is the HTTP campaign service: it serves a
+// results.Store (campaign list, per-campaign records and episodes,
+// Table II summaries, store-vs-store diffs) and launches new campaigns
+// on the execution engine, streaming their episodes into the same
+// store with live progress. It is the many-clients face of the results
+// API — robotack-campaign writes a store on one machine, robotack-serve
+// makes it queryable, diffable and extendable for everyone else.
+package campaignd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/scenegen"
+)
+
+// Server is the HTTP campaign service. Create one with New; it
+// implements http.Handler.
+//
+// Endpoints:
+//
+//	GET  /campaigns                    stored campaign aggregates
+//	GET  /campaigns/{name}             one aggregate (recomputed from
+//	                                   episodes when only those exist)
+//	GET  /campaigns/{name}/episodes    the campaign's episode records
+//	GET  /campaigns/{name}/summary     Table II text for one campaign
+//	GET  /summary                      Table II text for the whole store
+//	GET  /diff?other=path              diff the store against another JSONL store
+//	GET  /diff?a=name&b=name           diff two campaigns within the store
+//	POST /runs                         launch a campaign (JSON body: RunRequest)
+//	GET  /runs                         all launched runs' statuses
+//	GET  /runs/{id}                    one run's status and progress
+type Server struct {
+	store   results.Store
+	workers int
+	oracles map[core.Vector]core.Oracle
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	nextID int
+	runs   map[int]*RunStatus
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithWorkers sets the engine worker-pool size for launched runs.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n >= 1 {
+			s.workers = n
+		}
+	}
+}
+
+// WithOracles supplies trained safety-hijacker oracles to launched
+// runs (default: the analytic oracle).
+func WithOracles(o map[core.Vector]core.Oracle) Option {
+	return func(s *Server) { s.oracles = o }
+}
+
+// New creates the campaign service over store.
+func New(store results.Store, opts ...Option) *Server {
+	s := &Server{
+		store:   store,
+		workers: engine.DefaultWorkers(),
+		runs:    make(map[int]*RunStatus),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("GET /campaigns/{name}", s.handleCampaign)
+	s.mux.HandleFunc("GET /campaigns/{name}/episodes", s.handleEpisodes)
+	s.mux.HandleFunc("GET /campaigns/{name}/summary", s.handleCampaignSummary)
+	s.mux.HandleFunc("GET /summary", s.handleSummary)
+	s.mux.HandleFunc("GET /diff", s.handleDiff)
+	s.mux.HandleFunc("POST /runs", s.handleLaunch)
+	s.mux.HandleFunc("GET /runs", s.handleRuns)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// aggregate returns the stored aggregate for name, recomputing it from
+// episode records when the campaign was interrupted before its
+// aggregate landed.
+func (s *Server) aggregate(name string) (*results.CampaignRecord, error) {
+	return results.AggregateFor(s.store, name)
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	recs, err := s.store.Campaigns()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rec, err := s.aggregate(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no campaign %q in store", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleEpisodes(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	eps, err := s.store.Episodes(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if len(eps) == 0 {
+		writeError(w, http.StatusNotFound, "no episodes for campaign %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, eps)
+}
+
+func (s *Server) handleCampaignSummary(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rec, err := s.aggregate(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no campaign %q in store", name)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, experiment.FormatTableII([]results.CampaignRecord{*rec}))
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	recs, err := s.store.Campaigns()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, experiment.FormatTableII(recs))
+	robo, base := splitByMode(recs)
+	fmt.Fprintf(w, "\n%s", experiment.FormatSummary(experiment.Summarize(robo), experiment.Summarize(base)))
+}
+
+// splitByMode separates the smart campaigns from the random baseline
+// for the headline summary, matching robotack-campaign's headline:
+// golden (mode 0) and noSH campaigns belong to neither side.
+func splitByMode(recs []results.CampaignRecord) (robo, base []results.CampaignRecord) {
+	for _, r := range recs {
+		switch r.Mode {
+		case core.ModeSmart:
+			robo = append(robo, r)
+		case core.ModeRandom:
+			base = append(base, r)
+		}
+	}
+	return robo, base
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	switch {
+	case q.Get("other") != "":
+		other, err := results.Load(q.Get("other"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		diffs, err := results.Diff(s.store, other)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, diffs)
+	case q.Get("a") != "" && q.Get("b") != "":
+		ra, err := s.aggregate(q.Get("a"))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		rb, err := s.aggregate(q.Get("b"))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if ra == nil || rb == nil {
+			writeError(w, http.StatusNotFound, "both campaigns must exist (a=%v b=%v)", ra != nil, rb != nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, results.DiffRecords(q.Get("a")+" vs "+q.Get("b"), ra, rb))
+	default:
+		writeError(w, http.StatusBadRequest, "diff needs ?other=store.jsonl or ?a=campaign&b=campaign")
+	}
+}
+
+// RunRequest is the POST /runs body.
+type RunRequest struct {
+	// Scenario names a registered spec ("DS-1".."DS-5" or anything
+	// registered in scenegen).
+	Scenario string `json:"scenario"`
+	// Mode is golden | smart | nosh | random.
+	Mode string `json:"mode"`
+	// Name keys the persisted records (default "<scenario>-<mode>").
+	Name string `json:"name,omitempty"`
+	Runs int    `json:"runs"`
+	Seed int64  `json:"seed"`
+	// Resume folds episodes already stored under Name instead of
+	// re-running them.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// RunStatus is the progress of one launched run.
+type RunStatus struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	State    string `json:"state"` // running | done | failed
+	Error    string `json:"error,omitempty"`
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "golden":
+		return 0, nil
+	case "smart":
+		return core.ModeSmart, nil
+	case "nosh":
+		return core.ModeNoSH, nil
+	case "random":
+		return core.ModeRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want golden|smart|nosh|random)", s)
+	}
+}
+
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Runs <= 0 {
+		writeError(w, http.StatusBadRequest, "runs must be positive, got %d", req.Runs)
+		return
+	}
+	if _, ok := scenegen.Lookup(req.Scenario); !ok {
+		writeError(w, http.StatusBadRequest, "unknown scenario %q (have %v)", req.Scenario, scenegen.Names())
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%s", req.Scenario, strings.ToLower(req.Mode))
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	st := &RunStatus{
+		ID:       s.nextID,
+		Name:     name,
+		Scenario: req.Scenario,
+		Mode:     strings.ToLower(req.Mode),
+		Total:    req.Runs,
+		State:    "running",
+	}
+	s.runs[st.ID] = st
+	s.mu.Unlock()
+
+	go s.execute(st, req, mode)
+	writeJSON(w, http.StatusAccepted, st.snapshot(&s.mu))
+}
+
+// execute runs one launched campaign to completion, updating the
+// status as episodes finish.
+func (s *Server) execute(st *RunStatus, req RunRequest, mode core.Mode) {
+	eng := engine.New(
+		engine.WithWorkers(s.workers),
+		engine.WithProgress(func(done, total int) {
+			s.mu.Lock()
+			st.Done = done
+			s.mu.Unlock()
+		}),
+	)
+	src := scenario.Named(req.Scenario)
+	opts := []experiment.RunOption{
+		experiment.WithSink(s.store),
+		experiment.WithRecordName(st.Name),
+	}
+	if req.Resume {
+		opts = append(opts, experiment.WithResume(s.store))
+	}
+	var err error
+	if mode == 0 {
+		_, err = experiment.RunGoldenOn(eng, src, req.Runs, req.Seed, opts...)
+	} else {
+		c := experiment.Campaign{
+			Name:          st.Name,
+			Scenario:      src,
+			Mode:          mode,
+			ExpectCrashes: true,
+		}
+		_, err = experiment.RunCampaignOn(eng, c, req.Runs, req.Seed, s.oracles, opts...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		st.State = "failed"
+		st.Error = err.Error()
+		return
+	}
+	st.State = "done"
+}
+
+// snapshot copies the status under the server lock.
+func (st *RunStatus) snapshot(mu *sync.Mutex) RunStatus {
+	mu.Lock()
+	defer mu.Unlock()
+	return *st
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]RunStatus, 0, len(s.runs))
+	for _, st := range s.runs {
+		out = append(out, *st)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var id int
+	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+		writeError(w, http.StatusBadRequest, "bad run id %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	st, ok := s.runs[id]
+	var cp RunStatus
+	if ok {
+		cp = *st
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}

@@ -1,0 +1,278 @@
+package campaignd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/results"
+)
+
+// seededStore builds a store with two finished campaigns and one
+// interrupted campaign (episodes only).
+func seededStore(t *testing.T) *results.MemStore {
+	t.Helper()
+	store := results.NewMemStore()
+	a := results.NewCampaign("alpha", "DS-1", core.ModeSmart, true, 10)
+	a.Runs, a.EBs, a.Crashes = 10, 8, 4
+	b := results.NewCampaign("beta", "DS-2", core.ModeRandom, true, 10)
+	b.Runs, b.EBs, b.Crashes = 10, 2, 1
+	for _, rec := range []results.CampaignRecord{a, b} {
+		if err := store.PutCampaign(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ep := results.EpisodeRecord{
+			V: results.Version, Campaign: "interrupted", Index: i, Seed: int64(100 + i),
+			Scenario: "DS-2", Mode: core.ModeSmart, Launched: true, EB: i%2 == 0,
+			MinDelta: 5.5, Frames: 100,
+		}
+		if err := store.Append(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestServeCampaignQueries(t *testing.T) {
+	ts := httptest.NewServer(New(seededStore(t)))
+	defer ts.Close()
+
+	var recs []results.CampaignRecord
+	getJSON(t, ts.URL+"/campaigns", &recs)
+	if len(recs) != 2 || recs[0].Name != "alpha" || recs[1].Name != "beta" {
+		t.Fatalf("campaigns = %+v", recs)
+	}
+
+	var one results.CampaignRecord
+	if resp := getJSON(t, ts.URL+"/campaigns/alpha", &one); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get alpha: status %d", resp.StatusCode)
+	}
+	if one.EBs != 8 {
+		t.Errorf("alpha EBs = %d, want 8", one.EBs)
+	}
+
+	// The interrupted campaign has no stored aggregate: /campaigns/{name}
+	// recomputes it from episode records.
+	var interrupted results.CampaignRecord
+	getJSON(t, ts.URL+"/campaigns/interrupted", &interrupted)
+	if interrupted.Runs != 3 || interrupted.EBs != 2 {
+		t.Errorf("interrupted aggregate = %+v, want 3 runs / 2 EBs", interrupted)
+	}
+
+	var eps []results.EpisodeRecord
+	getJSON(t, ts.URL+"/campaigns/interrupted/episodes", &eps)
+	if len(eps) != 3 || eps[0].Index != 0 {
+		t.Errorf("episodes = %+v", eps)
+	}
+
+	if resp := getJSON(t, ts.URL+"/campaigns/nonesuch", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing campaign: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "alpha") || !strings.Contains(string(body), "RoboTack") {
+		t.Errorf("summary output malformed:\n%s", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/campaigns/alpha/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "alpha") {
+		t.Errorf("campaign summary malformed:\n%s", body)
+	}
+}
+
+func TestServeDiff(t *testing.T) {
+	ts := httptest.NewServer(New(seededStore(t)))
+	defer ts.Close()
+
+	// Campaign-vs-campaign within the store.
+	var d results.CampaignDiff
+	if resp := getJSON(t, ts.URL+"/diff?a=alpha&b=beta", &d); resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status %d", resp.StatusCode)
+	}
+	if !approx(d.EBRateDelta, -0.6) {
+		t.Errorf("EB delta = %v, want -0.6", d.EBRateDelta)
+	}
+
+	// Store-vs-store against a JSONL file on disk.
+	path := filepath.Join(t.TempDir(), "other.jsonl")
+	fs, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := results.NewCampaign("alpha", "DS-1", core.ModeSmart, true, 10)
+	improved.Runs, improved.EBs, improved.Crashes = 10, 10, 6
+	if err := fs.PutCampaign(improved); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	var diffs []results.CampaignDiff
+	getJSON(t, ts.URL+"/diff?other="+path, &diffs)
+	if len(diffs) != 3 { // alpha, beta, interrupted
+		t.Fatalf("diffs = %+v, want 3", diffs)
+	}
+	for _, dd := range diffs {
+		if dd.Name == "alpha" && !approx(dd.EBRateDelta, 0.2) {
+			t.Errorf("alpha EB delta = %v, want 0.2", dd.EBRateDelta)
+		}
+	}
+
+	if resp := getJSON(t, ts.URL+"/diff", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bare diff: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestServeLaunchValidation(t *testing.T) {
+	ts := httptest.NewServer(New(results.NewMemStore()))
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"scenario":"DS-2","mode":"warp","runs":2,"seed":1}`,   // bad mode
+		`{"scenario":"DS-99","mode":"smart","runs":2,"seed":1}`, // unknown scenario
+		`{"scenario":"DS-2","mode":"smart","runs":0,"seed":1}`,  // no runs
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	if resp := getJSON(t, ts.URL+"/runs/7", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing run: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeLaunchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	store := results.NewMemStore()
+	ts := httptest.NewServer(New(store, WithWorkers(4)))
+	defer ts.Close()
+
+	req := `{"scenario":"DS-2","mode":"smart","name":"api-ds2","runs":3,"seed":300}`
+	resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == 0 {
+		t.Fatalf("launch: status %d, %+v", resp.StatusCode, st)
+	}
+
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		getJSON(t, fmt.Sprintf("%s/runs/%d", ts.URL, st.ID), &st)
+		if st.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run still in state %q after 3 minutes (%d/%d)", st.State, st.Done, st.Total)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("run finished in state %q: %s", st.State, st.Error)
+	}
+	if st.Done != 3 {
+		t.Errorf("progress = %d/%d, want 3/3", st.Done, st.Total)
+	}
+
+	// The launched campaign's records landed in the served store.
+	var eps []results.EpisodeRecord
+	getJSON(t, ts.URL+"/campaigns/api-ds2/episodes", &eps)
+	if len(eps) != 3 {
+		t.Fatalf("stored %d episodes, want 3", len(eps))
+	}
+	var rec results.CampaignRecord
+	getJSON(t, ts.URL+"/campaigns/api-ds2", &rec)
+	if rec.Runs != 3 || rec.BaseSeed != 300 {
+		t.Errorf("aggregate = %+v", rec)
+	}
+
+	// Launching the same name again with resume=true folds the stored
+	// episodes instead of re-running them, and completes fast.
+	req2 := `{"scenario":"DS-2","mode":"smart","name":"api-ds2","runs":3,"seed":300,"resume":true}`
+	resp2, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(req2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 RunStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	for time.Now().Before(deadline) {
+		getJSON(t, fmt.Sprintf("%s/runs/%d", ts.URL, st2.ID), &st2)
+		if st2.State != "running" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st2.State != "done" {
+		t.Fatalf("resumed run finished in state %q: %s", st2.State, st2.Error)
+	}
+	var rec2 results.CampaignRecord
+	getJSON(t, ts.URL+"/campaigns/api-ds2", &rec2)
+	if rec2.Runs != rec.Runs || rec2.EBs != rec.EBs {
+		t.Errorf("resumed aggregate diverged: %+v vs %+v", rec2, rec)
+	}
+
+	var all []RunStatus
+	getJSON(t, ts.URL+"/runs", &all)
+	if len(all) != 2 || all[0].ID >= all[1].ID {
+		t.Errorf("runs listing = %+v", all)
+	}
+}

@@ -123,6 +123,11 @@ func New(opts ...Option) *Engine {
 // Workers reports the configured pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// Context returns the engine's cancellation context, so batch
+// consumers (e.g. streaming aggregators built on StreamOrdered) can
+// distinguish a canceled batch from a completed one.
+func (e *Engine) Context() context.Context { return e.ctx }
+
 // Stream executes the batch and returns a channel that yields one
 // Result per completed job, in completion order. The channel is
 // closed once every dispatched job has finished; on cancellation no
@@ -185,6 +190,47 @@ func (e *Engine) Stream(baseSeed int64, jobs []Job) <-chan Result {
 	return out
 }
 
+// StreamOrdered executes the batch and yields results in submission
+// (index) order: a completed job's result is held back until every
+// lower-index job has been delivered. This is the ordering hook that
+// lets a consumer fold aggregates or append to an external log
+// incrementally — episode k lands before episode k+1 — while the jobs
+// themselves still run on the full worker pool. Like Stream, the
+// channel is buffered to the batch size and closes once every
+// dispatched job has delivered; on cancellation the jobs that did
+// complete after a gap are flushed at the end, still in index order.
+func (e *Engine) StreamOrdered(baseSeed int64, jobs []Job) <-chan Result {
+	out := make(chan Result, len(jobs))
+	go func() {
+		defer close(out)
+		pending := make(map[int]Result)
+		next := 0
+		for r := range e.Stream(baseSeed, jobs) {
+			pending[r.Index] = r
+			for {
+				rr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- rr
+				next++
+			}
+		}
+		// A canceled batch can leave completed results beyond a job
+		// that never ran; flush them in index order.
+		rest := make([]int, 0, len(pending))
+		for i := range pending {
+			rest = append(rest, i)
+		}
+		sort.Ints(rest)
+		for _, i := range rest {
+			out <- pending[i]
+		}
+	}()
+	return out
+}
+
 // RunAll executes the batch and returns the collected results ordered
 // by job index. The returned error is the context's error if the run
 // was canceled (the results then cover only the jobs that finished),
@@ -192,10 +238,9 @@ func (e *Engine) Stream(baseSeed int64, jobs []Job) <-chan Result {
 // returned so callers can aggregate the successes).
 func (e *Engine) RunAll(baseSeed int64, jobs []Job) ([]Result, error) {
 	results := make([]Result, 0, len(jobs))
-	for r := range e.Stream(baseSeed, jobs) {
+	for r := range e.StreamOrdered(baseSeed, jobs) {
 		results = append(results, r)
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
 	if len(results) < len(jobs) {
 		if err := e.ctx.Err(); err != nil {
 			return results, err

@@ -195,3 +195,67 @@ func TestMapPreservesItemOrder(t *testing.T) {
 		t.Errorf("Map = %v, want %v", out, want)
 	}
 }
+
+func TestStreamOrderedDeliversInSubmissionOrder(t *testing.T) {
+	const n = 40
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context, seed int64) (any, error) {
+			// Early indices sleep longest, so completion order is
+			// roughly the reverse of submission order.
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return seed, nil
+		}
+	}
+	e := New(WithWorkers(8))
+	next := 0
+	for r := range e.StreamOrdered(77, jobs) {
+		if r.Index != next {
+			t.Fatalf("result %d arrived out of order (want index %d)", r.Index, next)
+		}
+		if r.Value.(int64) != AdditiveSeeds(77, r.Index) {
+			t.Errorf("index %d carries seed value %v", r.Index, r.Value)
+		}
+		next++
+	}
+	if next != n {
+		t.Errorf("delivered %d results, want %d", next, n)
+	}
+}
+
+func TestStreamOrderedFlushesAfterCancellationGap(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	jobs := make([]Job, 30)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(jctx context.Context, seed int64) (any, error) {
+			if i == 0 {
+				// Hold index 0 until the batch is canceled, so the jobs
+				// that completed meanwhile sit behind a gap.
+				time.Sleep(50 * time.Millisecond)
+				once.Do(cancel)
+			} else {
+				// Slow enough that the batch cannot drain before the
+				// cancellation above lands.
+				time.Sleep(10 * time.Millisecond)
+			}
+			return i, nil
+		}
+	}
+	e := New(WithWorkers(4), WithContext(ctx))
+	last := -1
+	got := 0
+	for r := range e.StreamOrdered(5, jobs) {
+		if r.Index <= last {
+			t.Fatalf("index %d delivered after %d", r.Index, last)
+		}
+		last = r.Index
+		got++
+	}
+	if got == 0 || got >= 30 {
+		t.Errorf("delivered %d results, want a canceled partial batch", got)
+	}
+}

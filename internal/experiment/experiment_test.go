@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
 	"github.com/robotack/robotack/internal/sim"
@@ -210,41 +212,98 @@ func TestTrainOraclesSmall(t *testing.T) {
 	}
 }
 
-func TestReportFormatters(t *testing.T) {
-	res := []CampaignResult{{
-		Campaign: Campaign{Name: "DS-2-Disappear-R", ExpectCrashes: true, Mode: core.ModeSmart},
-		Runs:     10, EBs: 9, Crashes: 8, Launched: 10,
-		Ks: []float64{14, 15, 16}, KPrimes: []float64{4, 5, 6},
-		MinDeltas: []float64{2, 3, 4},
-		Predicted: []float64{5, 6}, Realized: []float64{4, 8}, Successes: []bool{true, false},
-	}}
-	if out := FormatTableII(res); !strings.Contains(out, "DS-2-Disappear-R") {
-		t.Error("Table II output malformed")
+func TestCampaignErrorsReportEveryFailure(t *testing.T) {
+	// ID 0 is invalid, so every episode fails; the joined error must
+	// name every failing index, not just the first.
+	c := Campaign{Name: "broken", Scenario: scenario.ID(0), Mode: core.ModeSmart, ExpectCrashes: true}
+	_, err := RunCampaignOn(engine.New(engine.WithWorkers(2)), c, 3, 1, nil)
+	if err == nil {
+		t.Fatal("campaign on an invalid scenario must fail")
 	}
-	rows := Fig6Rows(res, res)
-	if out := FormatFig6(rows); !strings.Contains(out, "med=3.00") {
-		t.Errorf("Fig 6 output malformed:\n%s", out)
+	for i := 0; i < 3; i++ {
+		if want := fmt.Sprintf("campaign broken run %d:", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not report %q", err, want)
+		}
 	}
-	if out := FormatFig7(res); !strings.Contains(out, "DS-2") {
-		t.Error("Fig 7 output malformed")
+}
+
+// countingSink wraps a sink and counts fresh appends, to prove resume
+// skips persisted episodes.
+type countingSink struct {
+	results.Store
+	appends int
+}
+
+func (c *countingSink) Append(ep results.EpisodeRecord) error {
+	c.appends++
+	return c.Store.Append(ep)
+}
+
+func TestCampaignResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
 	}
-	bins := Fig8Bins(res, 5, 10)
-	total := 0
-	for _, b := range bins {
-		total += b.N
+	c := Campaign{Name: "resume-DS-2", Scenario: scenario.DS2, Mode: core.ModeSmart,
+		PreferDisappearFor: sim.ClassPedestrian, ExpectCrashes: true}
+	const full, interruptAt = 8, 5
+
+	// Reference: one uninterrupted run.
+	wholeStore := results.NewMemStore()
+	whole, err := RunCampaignOn(engine.New(), c, full, 300, nil, WithSink(wholeStore))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if total != 2 {
-		t.Errorf("Fig 8 bins hold %d samples, want 2", total)
+
+	// A campaign "interrupted" after interruptAt episodes, then resumed
+	// from the store for the full count.
+	partStore := results.NewMemStore()
+	if _, err := RunCampaignOn(engine.New(), c, interruptAt, 300, nil, WithSink(partStore)); err != nil {
+		t.Fatal(err)
 	}
-	if out := FormatFig8(bins, res); !strings.Contains(out, "MAE") {
-		t.Error("Fig 8 output malformed")
+	sink := &countingSink{Store: partStore}
+	resumed, err := RunCampaignOn(engine.New(), c, full, 300, nil, WithSink(sink), WithResume(partStore))
+	if err != nil {
+		t.Fatal(err)
 	}
-	s := Summarize(res)
-	if s.Runs != 10 || s.EBs != 9 || s.Crashes != 8 {
-		t.Errorf("summary = %+v", s)
+
+	if sink.appends != full-interruptAt {
+		t.Errorf("resume re-ran %d episodes, want %d (persisted ones must be skipped)",
+			sink.appends, full-interruptAt)
 	}
-	if out := FormatSummary(s, s); !strings.Contains(out, "RoboTack") {
-		t.Error("summary output malformed")
+	if !reflect.DeepEqual(resumed.CampaignRecord, whole.CampaignRecord) {
+		t.Errorf("resumed aggregate differs from uninterrupted run:\n got %+v\nwant %+v",
+			resumed.CampaignRecord, whole.CampaignRecord)
+	}
+	gotTable := FormatTableII([]results.CampaignRecord{resumed.CampaignRecord})
+	wantTable := FormatTableII([]results.CampaignRecord{whole.CampaignRecord})
+	if gotTable != wantTable {
+		t.Errorf("Table II differs after resume:\n got %s\nwant %s", gotTable, wantTable)
+	}
+
+	// Both stores now hold identical episode records and aggregates.
+	wantEps, _ := wholeStore.Episodes(c.Name)
+	gotEps, _ := partStore.Episodes(c.Name)
+	if !reflect.DeepEqual(gotEps, wantEps) {
+		t.Errorf("stored episodes differ:\n got %+v\nwant %+v", gotEps, wantEps)
+	}
+	wantCamps, _ := wholeStore.Campaigns()
+	gotCamps, _ := partStore.Campaigns()
+	if !reflect.DeepEqual(gotCamps, wantCamps) {
+		t.Errorf("stored aggregates differ:\n got %+v\nwant %+v", gotCamps, wantCamps)
+	}
+}
+
+func TestResumeRejectsMismatchedSeeds(t *testing.T) {
+	store := results.NewMemStore()
+	ep := RecordEpisode("seed-check", 0, 12345, "DS-2", core.ModeSmart, true, RunResult{})
+	if err := store.Append(ep); err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Name: "seed-check", Scenario: scenario.DS2, Mode: core.ModeSmart, ExpectCrashes: true}
+	// Base seed 300 derives seed 300 for index 0, not 12345.
+	_, err := RunCampaignOn(engine.New(engine.WithWorkers(1)), c, 1, 300, nil, WithResume(store))
+	if err == nil || !strings.Contains(err.Error(), "refusing to mix seed streams") {
+		t.Errorf("err = %v, want seed-stream mismatch", err)
 	}
 }
 

@@ -5,24 +5,33 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/stats"
 )
 
+// The report formatters operate on persistent campaign records, not
+// live results: Table II and Figs. 6-8 can be regenerated from any
+// results.Store (a JSONL file from last week, a resumed sweep, the
+// campaign service's store) exactly as from a freshly run campaign.
+// Freshly run sweeps pass through experiment.Records.
+
 // FormatTableII renders the Table II attack summary.
-func FormatTableII(results []CampaignResult) string {
+func FormatTableII(recs []results.CampaignRecord) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %5s %6s %12s %14s\n", "ID", "K", "#runs", "#EB (%)", "#crashes (%)")
-	for _, r := range results {
+	for i := range recs {
+		r := &recs[i]
 		crash := "—"
-		if r.Campaign.ExpectCrashes {
+		if r.ExpectCrashes {
 			crash = fmt.Sprintf("%d (%.1f%%)", r.Crashes, 100*r.CrashRate())
 		}
-		k := "K*"
-		if r.Campaign.Mode != 3 { // Baseline-Random draws K* at random
+		k := "K*" // Baseline-Random draws K* at random
+		if r.Mode != core.ModeRandom {
 			k = fmt.Sprintf("%.0f", r.MedianK())
 		}
 		fmt.Fprintf(&b, "%-24s %5s %6d %12s %14s\n",
-			r.Campaign.Name, k, r.Runs,
+			r.Name, k, r.Runs,
 			fmt.Sprintf("%d (%.1f%%)", r.EBs, 100*r.EBRate()), crash)
 	}
 	return b.String()
@@ -50,14 +59,14 @@ type Fig6Row struct {
 }
 
 // Fig6Rows computes the Fig. 6 boxplot series from paired campaign
-// results.
-func Fig6Rows(withSH, noSH []CampaignResult) []Fig6Row {
+// records.
+func Fig6Rows(withSH, noSH []results.CampaignRecord) []Fig6Row {
 	rows := make([]Fig6Row, 0, len(withSH))
 	for i := range withSH {
 		if i >= len(noSH) {
 			break
 		}
-		row := Fig6Row{Name: withSH[i].Campaign.Name}
+		row := Fig6Row{Name: withSH[i].Name}
 		if box, err := stats.Box(withSH[i].MinDeltas); err == nil {
 			row.WithSH = box
 		}
@@ -82,15 +91,16 @@ func FormatFig6(rows []Fig6Row) string {
 
 // FormatFig7 renders the K' (shift time) boxplots per attack vector for
 // vehicles and pedestrians.
-func FormatFig7(results []CampaignResult) string {
+func FormatFig7(recs []results.CampaignRecord) string {
 	var b strings.Builder
 	b.WriteString("Fig. 7 — shift time K' (frames) needed to move the object by Omega\n")
-	for _, r := range results {
+	for i := range recs {
+		r := &recs[i]
 		if len(r.KPrimes) == 0 {
 			continue
 		}
 		if box, err := stats.Box(r.KPrimes); err == nil {
-			fmt.Fprintf(&b, "  %-22s %v\n", r.Campaign.Name, box)
+			fmt.Fprintf(&b, "  %-22s %v\n", r.Name, box)
 		}
 	}
 	return b.String()
@@ -106,13 +116,13 @@ type Fig8Bin struct {
 
 // Fig8Bins computes success probability vs binned oracle prediction
 // error across smart campaigns.
-func Fig8Bins(results []CampaignResult, nbins int, maxErr float64) []Fig8Bin {
+func Fig8Bins(recs []results.CampaignRecord, nbins int, maxErr float64) []Fig8Bin {
 	type pair struct {
 		err     float64
 		success bool
 	}
 	var pairs []pair
-	for _, r := range results {
+	for _, r := range recs {
 		for i := range r.Predicted {
 			e := r.Predicted[i] - r.Realized[i]
 			if e < 0 {
@@ -150,7 +160,7 @@ func Fig8Bins(results []CampaignResult, nbins int, maxErr float64) []Fig8Bin {
 }
 
 // FormatFig8 renders the prediction-error study.
-func FormatFig8(bins []Fig8Bin, results []CampaignResult) string {
+func FormatFig8(bins []Fig8Bin, recs []results.CampaignRecord) string {
 	var b strings.Builder
 	b.WriteString("Fig. 8(a) — attack success probability vs |oracle prediction error| (m)\n")
 	for _, bin := range bins {
@@ -160,7 +170,8 @@ func FormatFig8(bins []Fig8Bin, results []CampaignResult) string {
 		fmt.Fprintf(&b, "  [%4.1f, %4.1f) n=%3d success=%.2f\n", bin.ErrLo, bin.ErrHi, bin.N, bin.SuccessRate)
 	}
 	b.WriteString("Fig. 8(b) — predicted vs realized delta_{t+K} (m)\n")
-	for _, r := range results {
+	for i := range recs {
+		r := &recs[i]
 		var errs []float64
 		for i := range r.Predicted {
 			e := r.Predicted[i] - r.Realized[i]
@@ -173,12 +184,16 @@ func FormatFig8(bins []Fig8Bin, results []CampaignResult) string {
 			continue
 		}
 		mae := stats.Mean(errs)
-		fmt.Fprintf(&b, "  %-22s n=%3d MAE=%.2f m\n", r.Campaign.Name, len(errs), mae)
+		fmt.Fprintf(&b, "  %-22s n=%3d MAE=%.2f m\n", r.Name, len(errs), mae)
 	}
 	return b.String()
 }
 
 // Summary aggregates the paper's §VI headline numbers across campaigns.
+// The pedestrian/vehicle split counts launched episodes by the target
+// class the malware actually attacked (recorded per episode), so
+// generated scenarios and unconventionally named campaigns summarize
+// correctly.
 type Summary struct {
 	Runs, EBs, Crashes  int
 	CrashEligibleRuns   int
@@ -186,24 +201,21 @@ type Summary struct {
 	VehRuns, VehSuccess int
 }
 
-// Summarize folds campaign results into the headline aggregates.
-func Summarize(results []CampaignResult) Summary {
+// Summarize folds campaign records into the headline aggregates.
+func Summarize(recs []results.CampaignRecord) Summary {
 	var s Summary
-	for _, r := range results {
+	for i := range recs {
+		r := &recs[i]
 		s.Runs += r.Runs
 		s.EBs += r.EBs
-		if r.Campaign.ExpectCrashes {
+		if r.ExpectCrashes {
 			s.Crashes += r.Crashes
 			s.CrashEligibleRuns += r.Runs
 		}
-		ped := strings.Contains(r.Campaign.Name, "DS-2") || strings.Contains(r.Campaign.Name, "DS-4")
-		if ped {
-			s.PedRuns += r.Runs
-			s.PedSuccess += r.EBs
-		} else {
-			s.VehRuns += r.Runs
-			s.VehSuccess += r.EBs
-		}
+		s.PedRuns += r.PedLaunched
+		s.PedSuccess += r.PedEBs
+		s.VehRuns += r.VehLaunched
+		s.VehSuccess += r.VehEBs
 	}
 	return s
 }

@@ -1,0 +1,162 @@
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// line is the JSONL envelope: one self-describing record per line, so
+// a store file is an append-only log that any language can stream.
+type line struct {
+	Kind     string          `json:"kind"`
+	Episode  *EpisodeRecord  `json:"episode,omitempty"`
+	Campaign *CampaignRecord `json:"campaign,omitempty"`
+}
+
+const (
+	kindEpisode  = "episode"
+	kindCampaign = "campaign"
+)
+
+// maxLine bounds one JSONL line; campaign aggregates carry per-episode
+// slices, so the default bufio.Scanner limit is too small.
+const maxLine = 64 << 20
+
+// FileStore is the JSONL-backed Store: an append-only log on disk
+// mirrored by an in-memory index for queries. Appends go straight to
+// the file, so an interrupted campaign keeps every episode that
+// completed; re-opening folds duplicate (campaign, index) keys and
+// repeated campaign aggregates last-wins, exactly like a log replay.
+type FileStore struct {
+	mu   sync.Mutex
+	mem  *MemStore
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if needed) a JSONL store for reading and
+// appending.
+func Open(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("results: open store: %w", err)
+	}
+	mem, err := readAll(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{mem: mem, f: f, path: path}, nil
+}
+
+// Load reads a JSONL store into memory without holding the file open —
+// the read-only path used by diffs and the campaign service.
+func Load(path string) (*MemStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("results: load store: %w", err)
+	}
+	defer f.Close()
+	return readAll(f, path)
+}
+
+func readAll(r io.Reader, path string) (*MemStore, error) {
+	mem := NewMemStore()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("results: %s:%d: %w", path, n, err)
+		}
+		switch {
+		case l.Kind == kindEpisode && l.Episode != nil:
+			if err := mem.Append(*l.Episode); err != nil {
+				return nil, fmt.Errorf("results: %s:%d: %w", path, n, err)
+			}
+		case l.Kind == kindCampaign && l.Campaign != nil:
+			if err := mem.PutCampaign(*l.Campaign); err != nil {
+				return nil, fmt.Errorf("results: %s:%d: %w", path, n, err)
+			}
+		default:
+			return nil, fmt.Errorf("results: %s:%d: unknown record kind %q", path, n, l.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("results: %s: %w", path, err)
+	}
+	return mem, nil
+}
+
+// Path reports the store's file path.
+func (s *FileStore) Path() string { return s.path }
+
+func (s *FileStore) writeLine(l line) error {
+	raw, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("results: encode record: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := s.f.Write(raw); err != nil {
+		return fmt.Errorf("results: append to %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Append implements Sink: the episode is written to the log before it
+// is visible to queries, so a crash never loses an acknowledged record.
+func (s *FileStore) Append(ep EpisodeRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeLine(line{Kind: kindEpisode, Episode: &ep}); err != nil {
+		return err
+	}
+	return s.mem.Append(ep)
+}
+
+// PutCampaign implements Store; upserts append a fresh line and the
+// loader keeps the last one.
+func (s *FileStore) PutCampaign(c CampaignRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeLine(line{Kind: kindCampaign, Campaign: &c}); err != nil {
+		return err
+	}
+	return s.mem.PutCampaign(c)
+}
+
+// Campaigns implements Store.
+func (s *FileStore) Campaigns() ([]CampaignRecord, error) { return s.mem.Campaigns() }
+
+// Episodes implements Store.
+func (s *FileStore) Episodes(campaign string) ([]EpisodeRecord, error) {
+	return s.mem.Episodes(campaign)
+}
+
+// EpisodeCampaigns lists campaign names that have episode records.
+func (s *FileStore) EpisodeCampaigns() []string { return s.mem.EpisodeCampaigns() }
+
+// Sync flushes the log to stable storage.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close syncs and closes the underlying file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return errors.Join(s.f.Sync(), s.f.Close())
+}

@@ -1,0 +1,114 @@
+package results
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sink receives episode records as they complete. The experiment
+// harness delivers records in submission (index) order, so a sink that
+// appends sequentially — a JSONL file, an HTTP stream — produces a
+// replayable log without its own reordering buffer.
+type Sink interface {
+	Append(EpisodeRecord) error
+}
+
+// Store is a durable collection of campaign and episode records with
+// the four operations every consumer needs: append episodes, upsert
+// campaign aggregates, list campaigns, and query one campaign's
+// episodes. Episodes are keyed by (campaign, index) — appending the
+// same key again replaces the record, which is what lets an
+// interrupted campaign re-append safely. Implementations are safe for
+// concurrent use.
+type Store interface {
+	Sink
+	// PutCampaign upserts a campaign's aggregate record.
+	PutCampaign(CampaignRecord) error
+	// Campaigns lists the stored campaign records sorted by name.
+	Campaigns() ([]CampaignRecord, error)
+	// Episodes returns one campaign's episode records sorted by index.
+	// A campaign with no records yields an empty slice, not an error.
+	Episodes(campaign string) ([]EpisodeRecord, error)
+}
+
+// MemStore is the in-memory Store: the test double, the cache layer,
+// and the aggregation scratchpad for Diff.
+type MemStore struct {
+	mu        sync.RWMutex
+	episodes  map[string]map[int]EpisodeRecord
+	campaigns map[string]CampaignRecord
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		episodes:  make(map[string]map[int]EpisodeRecord),
+		campaigns: make(map[string]CampaignRecord),
+	}
+}
+
+// Append implements Sink. Records from a newer schema are rejected.
+func (s *MemStore) Append(ep EpisodeRecord) error {
+	if ep.V > Version {
+		return fmt.Errorf("results: episode record v%d is newer than supported v%d", ep.V, Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byIdx := s.episodes[ep.Campaign]
+	if byIdx == nil {
+		byIdx = make(map[int]EpisodeRecord)
+		s.episodes[ep.Campaign] = byIdx
+	}
+	byIdx[ep.Index] = ep
+	return nil
+}
+
+// PutCampaign implements Store.
+func (s *MemStore) PutCampaign(c CampaignRecord) error {
+	if c.V > Version {
+		return fmt.Errorf("results: campaign record v%d is newer than supported v%d", c.V, Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.campaigns[c.Name] = c
+	return nil
+}
+
+// Campaigns implements Store.
+func (s *MemStore) Campaigns() ([]CampaignRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]CampaignRecord, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Episodes implements Store.
+func (s *MemStore) Episodes(campaign string) ([]EpisodeRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byIdx := s.episodes[campaign]
+	out := make([]EpisodeRecord, 0, len(byIdx))
+	for _, ep := range byIdx {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, nil
+}
+
+// EpisodeCampaigns lists the campaign names that have episode records
+// (whether or not an aggregate was stored), sorted.
+func (s *MemStore) EpisodeCampaigns() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.episodes))
+	for name := range s.episodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
