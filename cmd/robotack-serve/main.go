@@ -1,9 +1,10 @@
-// Command robotack-serve exposes a JSONL results store over HTTP: it
-// lists stored campaigns, serves per-campaign records and episodes,
-// renders Table II summaries, diffs stores, and launches new campaigns
-// on the execution engine — episodes stream into the same store, so a
-// sweep started over the API is immediately queryable, resumable and
-// diffable by every client.
+// Command robotack-serve exposes a JSONL results store over HTTP and
+// runs a durable campaign queue on top of it: POST /runs enqueues
+// campaigns that execute under a bounded local concurrency or on
+// remote robotack-worker processes, episodes stream into the served
+// store, progress streams to clients over Server-Sent Events, and —
+// with -queue-dir — queued and interrupted jobs survive restarts,
+// resuming bit-identically from the store's episodes.
 //
 // Endpoints:
 //
@@ -14,15 +15,23 @@
 //	GET  /summary                      Table II + headline summary for the store
 //	GET  /diff?other=path              diff the store against another JSONL store
 //	GET  /diff?a=name&b=name           diff two campaigns within the store
-//	POST /runs                         launch a campaign
-//	GET  /runs | /runs/{id}            launched runs' progress
+//	POST /runs                         queue a campaign
+//	GET  /runs | /runs/{id}            queued runs' progress
+//	GET  /runs/{id}/events             live progress (Server-Sent Events)
+//	DELETE /runs/{id}                  cancel a run
+//	POST /lease, /runs/{id}/...        remote-worker protocol (robotack-worker)
 //
 // Usage:
 //
 //	robotack-serve -store results.jsonl
-//	robotack-serve -store results.jsonl -addr :9090 -workers 4
-//	curl -s localhost:8077/campaigns
+//	robotack-serve -store results.jsonl -queue-dir queue/ -max-concurrent 2
+//	robotack-serve -store results.jsonl -addr :9090 -workers 4 -lease-ttl 30s
 //	curl -s -X POST localhost:8077/runs -d '{"scenario":"DS-2","mode":"smart","runs":20,"seed":300}'
+//	curl -N localhost:8077/runs/1/events
+//
+// On SIGINT/SIGTERM the server stops leasing, cancels in-flight jobs
+// (journaling them as queued so a restart resumes them), flushes the
+// queue journal and the store, and exits 0.
 package main
 
 import (
@@ -33,11 +42,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/robotack/robotack/internal/campaignd"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/runq"
 )
 
 func main() {
@@ -51,7 +62,10 @@ func run() error {
 	var (
 		storePath = flag.String("store", "", "JSONL results store to serve (created if missing)")
 		addr      = flag.String("addr", ":8077", "listen address")
-		workers   = flag.Int("workers", engine.DefaultWorkers(), "engine workers for launched runs")
+		workers   = flag.Int("workers", engine.DefaultWorkers(), "engine workers per locally executed run")
+		queueDir  = flag.String("queue-dir", "", "directory for the durable run-queue journal (empty: in-memory queue, lost on restart)")
+		maxConc   = flag.Int("max-concurrent", 1, "how many queued runs execute locally at once (0: remote workers only)")
+		leaseTTL  = flag.Duration("lease-ttl", 30*time.Second, "remote-worker lease duration; a missed heartbeat requeues the job")
 	)
 	flag.Parse()
 	if *storePath == "" {
@@ -62,14 +76,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer store.Close()
+	storeClosed := false
+	defer func() {
+		if !storeClosed {
+			store.Close()
+		}
+	}()
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: campaignd.New(store, campaignd.WithWorkers(*workers)),
+	queue, err := runq.Open(*queueDir,
+		runq.WithMaxConcurrent(*maxConc),
+		runq.WithLeaseTTL(*leaseTTL),
+		runq.WithLog(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}),
+	)
+	if err != nil {
+		return err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: campaignd.New(store,
+			campaignd.WithWorkers(*workers),
+			campaignd.WithQueue(queue),
+		),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
@@ -78,9 +111,30 @@ func run() error {
 		_ = srv.Shutdown(shutCtx)
 	}()
 
-	fmt.Printf("serving %s on %s (%d workers for launched runs)\n", *storePath, *addr, *workers)
+	durable := *queueDir
+	if durable == "" {
+		durable = "in-memory"
+	}
+	fmt.Printf("serving %s on %s (queue: %s, %d local slots, %d workers/run, lease %s)\n",
+		*storePath, *addr, durable, *maxConc, *workers, *leaseTTL)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+
+	// Drain the queue after the listener closes: no new submissions or
+	// leases can arrive, in-flight jobs are cancelled and journaled as
+	// queued, and the journal is flushed — a restart with the same
+	// -queue-dir picks them all up again.
+	fmt.Println("shutting down: draining run queue")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := queue.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	storeClosed = true
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Println("shutdown complete")
 	return nil
 }

@@ -1,0 +1,75 @@
+// Command robotack-worker executes queued campaign runs for a
+// robotack-serve instance on another (or the same) machine: it leases
+// jobs over HTTP, runs the episodes on a local engine pool,
+// heartbeats so the server knows the job is alive, and streams every
+// completed episode record back into the served results store.
+// Several workers against one server drain the queue concurrently;
+// losing a worker mid-run costs nothing — the lease expires, the job
+// requeues, and the next executor resumes from the episodes that
+// already landed, bit-identically.
+//
+// Usage:
+//
+//	robotack-worker -server http://queuehost:8077
+//	robotack-worker -server http://queuehost:8077 -name rack7 -workers 8
+//	robotack-worker -server http://queuehost:8077 -poll 2s
+//
+// On SIGINT/SIGTERM the worker stops leasing, aborts its in-flight
+// job and hands it back to the queue (fail with requeue), then exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/runq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robotack-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	var (
+		server  = flag.String("server", "", "robotack-serve base URL, e.g. http://host:8077")
+		name    = flag.String("name", fmt.Sprintf("%s-%d", host, os.Getpid()), "worker name reported in leases")
+		workers = flag.Int("workers", engine.DefaultWorkers(), "engine workers per job")
+		poll    = flag.Duration("poll", time.Second, "sleep between leases when the queue is empty")
+	)
+	flag.Parse()
+	if *server == "" {
+		return fmt.Errorf("-server is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &runq.Worker{
+		Server:  *server,
+		Name:    *name,
+		Workers: *workers,
+		Poll:    *poll,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	fmt.Printf("worker %s: leasing from %s (%d engine workers)\n", *name, *server, *workers)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("worker %s: shut down\n", *name)
+	return nil
+}

@@ -1,0 +1,467 @@
+package campaignd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/runq"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/scenegen"
+)
+
+// stepExec is a hand-cranked executor: every episode waits for one
+// send on step, so tests control exactly when progress happens.
+type stepExec struct {
+	step    chan struct{}
+	started chan int
+	mu      sync.Mutex
+	cur     int
+	max     int
+}
+
+func newStepExec() *stepExec {
+	return &stepExec{step: make(chan struct{}), started: make(chan int, 16)}
+}
+
+func (e *stepExec) Execute(ctx context.Context, job runq.Job, progress func(done, total int)) error {
+	e.mu.Lock()
+	e.cur++
+	if e.cur > e.max {
+		e.max = e.cur
+	}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.cur--
+		e.mu.Unlock()
+	}()
+	e.started <- job.ID
+	for i := 1; i <= job.Total; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-e.step:
+		}
+		progress(i, job.Total)
+	}
+	return nil
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	Name string
+	Data runq.Event
+}
+
+// readSSE consumes the stream until a terminal event (or EOF),
+// returning every event seen.
+func readSSE(t *testing.T, body *bufio.Scanner) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var name string
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev runq.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			out = append(out, sseEvent{Name: name, Data: ev})
+			if ev.State.Terminal() {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func postRun(t *testing.T, base, body string) RunStatus {
+	t.Helper()
+	resp, err := http.Post(base+"/runs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs: status %d (%+v)", resp.StatusCode, st)
+	}
+	return st
+}
+
+// TestServeSSEOrdering: the event stream reports monotonically
+// nondecreasing progress and ends with exactly one terminal "done"
+// event; a late subscriber gets the terminal event immediately.
+func TestServeSSEOrdering(t *testing.T) {
+	exec := newStepExec()
+	ts := newTestServer(t, results.NewMemStore(), WithExecutor(exec))
+
+	st := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"sse","runs":3,"seed":1}`)
+	<-exec.started
+
+	resp, err := http.Get(fmt.Sprintf("%s/runs/%d/events", ts.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	done := make(chan []sseEvent, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		done <- readSSE(t, sc)
+	}()
+	for i := 0; i < 3; i++ {
+		exec.step <- struct{}{}
+	}
+	var events []sseEvent
+	select {
+	case events = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream never delivered a terminal event")
+	}
+
+	if len(events) < 2 {
+		t.Fatalf("events = %+v, want at least a snapshot and a terminal", events)
+	}
+	last := events[len(events)-1]
+	if last.Name != "done" || last.Data.State != runq.StateDone || last.Data.Done != 3 {
+		t.Fatalf("terminal event = %+v, want done 3/3", last)
+	}
+	prev := -1
+	for i, ev := range events {
+		if ev.Data.Done < prev {
+			t.Errorf("event %d: done went backwards (%d after %d)", i, ev.Data.Done, prev)
+		}
+		prev = ev.Data.Done
+		if i < len(events)-1 {
+			if ev.Name != "progress" {
+				t.Errorf("event %d named %q, want progress", i, ev.Name)
+			}
+			if ev.Data.State.Terminal() {
+				t.Errorf("event %d: terminal state %q before the last event", i, ev.Data.State)
+			}
+		}
+	}
+
+	// A subscriber after completion sees one immediate terminal event.
+	resp2, err := http.Get(fmt.Sprintf("%s/runs/%d/events", ts.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	late := readSSE(t, bufio.NewScanner(resp2.Body))
+	if len(late) != 1 || late[0].Name != "done" {
+		t.Errorf("late subscription = %+v, want a single done event", late)
+	}
+
+	if resp, err := http.Get(ts.URL + "/runs/99/events"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("events for unknown run: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestServeSSECancelMidRun: DELETE /runs/{id} mid-run terminates the
+// event stream with a "cancelled" event and the job's engine context.
+func TestServeSSECancelMidRun(t *testing.T) {
+	exec := newStepExec()
+	ts := newTestServer(t, results.NewMemStore(), WithExecutor(exec))
+
+	st := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"sse-cancel","runs":5,"seed":1}`)
+	<-exec.started
+
+	resp, err := http.Get(fmt.Sprintf("%s/runs/%d/events", ts.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan []sseEvent, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		done <- readSSE(t, sc)
+	}()
+	exec.step <- struct{}{} // one episode lands, then the client cancels
+
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/runs/%d", ts.URL, st.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled RunStatus
+	if err := json.NewDecoder(dresp.Body).Decode(&cancelled); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || cancelled.State != "cancelled" {
+		t.Fatalf("DELETE: status %d, state %q", dresp.StatusCode, cancelled.State)
+	}
+
+	select {
+	case events := <-done:
+		last := events[len(events)-1]
+		if last.Name != "cancelled" || last.Data.State != runq.StateCancelled {
+			t.Fatalf("terminal event = %+v, want cancelled", last)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream never saw the cancellation")
+	}
+	if st := waitRun(t, ts.URL, st.ID, 5*time.Second); st.State != "cancelled" {
+		t.Errorf("final state = %q, want cancelled", st.State)
+	}
+}
+
+// TestWorkerProtocol drives the lease/heartbeat/episodes/complete/fail
+// endpoints directly, as a remote worker would.
+func TestWorkerProtocol(t *testing.T) {
+	store := results.NewMemStore()
+	q, err := runq.Open("", runq.WithMaxConcurrent(0), runq.WithLeaseTTL(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, WithQueue(q))
+	defer q.Shutdown(context.Background())
+	ts := newTestServerFrom(t, srv)
+
+	post := func(path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.Bytes()
+	}
+
+	st := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"proto","runs":2,"seed":10}`)
+
+	// The dispatcher's reserved name is not leasable.
+	if resp, _ := post("/lease", runq.LeaseRequest{Worker: "local"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reserved-name lease: status %d, want 400", resp.StatusCode)
+	}
+
+	// Lease the job.
+	resp, raw := post("/lease", runq.LeaseRequest{Worker: "w1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease: status %d", resp.StatusCode)
+	}
+	var lease runq.LeaseResponse
+	if err := json.Unmarshal(raw, &lease); err != nil {
+		t.Fatal(err)
+	}
+	if lease.Job.ID != st.ID || lease.Job.Attempt != 1 || lease.LeaseTTLMillis != 5000 {
+		t.Fatalf("lease = %+v", lease)
+	}
+
+	// Nothing else is queued.
+	if resp, _ := post("/lease", runq.LeaseRequest{Worker: "w2"}); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("empty lease: status %d, want 204", resp.StatusCode)
+	}
+
+	// Foreign heartbeats conflict; the owner's succeed and show up in
+	// the run status.
+	if resp, _ := post(fmt.Sprintf("/runs/%d/heartbeat", st.ID), runq.HeartbeatRequest{Worker: "w2"}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("foreign heartbeat: status %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := post(fmt.Sprintf("/runs/%d/heartbeat", st.ID), runq.HeartbeatRequest{Worker: "w1", Done: 1, Total: 2}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("heartbeat: status %d", resp.StatusCode)
+	}
+	var cur RunStatus
+	getJSON(t, fmt.Sprintf("%s/runs/%d", ts.URL, st.ID), &cur)
+	if cur.State != "running" || cur.Done != 1 || cur.Worker != "w1" {
+		t.Fatalf("status after heartbeat = %+v", cur)
+	}
+
+	// Stream two episodes into the served store.
+	eps := []results.EpisodeRecord{
+		{V: results.Version, Campaign: "proto", Index: 0, Seed: 10, Scenario: "DS-2", Mode: core.ModeSmart, Launched: true, EB: true, Frames: 50},
+		{V: results.Version, Campaign: "proto", Index: 1, Seed: 11, Scenario: "DS-2", Mode: core.ModeSmart, Launched: true, Frames: 50},
+	}
+	if resp, _ := post(fmt.Sprintf("/runs/%d/episodes", st.ID), runq.EpisodesRequest{Worker: "w1", Episodes: eps}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("episodes: status %d", resp.StatusCode)
+	}
+	stored, err := store.Episodes("proto")
+	if err != nil || len(stored) != 2 {
+		t.Fatalf("stored episodes = %d (%v), want 2", len(stored), err)
+	}
+
+	// Complete with the aggregate.
+	agg := results.Aggregate(results.NewCampaign("proto", "DS-2", core.ModeSmart, true, 10), eps)
+	if resp, _ := post(fmt.Sprintf("/runs/%d/complete", st.ID), runq.CompleteRequest{Worker: "w1", Campaign: &agg}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("complete: status %d", resp.StatusCode)
+	}
+	getJSON(t, fmt.Sprintf("%s/runs/%d", ts.URL, st.ID), &cur)
+	if cur.State != "done" {
+		t.Fatalf("state after complete = %q", cur.State)
+	}
+	var rec results.CampaignRecord
+	getJSON(t, ts.URL+"/campaigns/proto", &rec)
+	if rec.Runs != 2 || rec.EBs != 1 {
+		t.Fatalf("served aggregate = %+v", rec)
+	}
+	if resp, _ := post(fmt.Sprintf("/runs/%d/heartbeat", st.ID), runq.HeartbeatRequest{Worker: "w1"}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-completion heartbeat: status %d, want 409", resp.StatusCode)
+	}
+
+	// A second job, handed back by a shutting-down worker, requeues
+	// and re-leases with resume.
+	st2 := postRun(t, ts.URL, `{"scenario":"DS-1","mode":"random","name":"handback","runs":2,"seed":20}`)
+	if resp, _ := post("/lease", runq.LeaseRequest{Worker: "w1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease 2: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(fmt.Sprintf("/runs/%d/fail", st2.ID), runq.FailRequest{Worker: "w1", Error: "worker shut down", Requeue: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail-requeue: status %d", resp.StatusCode)
+	}
+	getJSON(t, fmt.Sprintf("%s/runs/%d", ts.URL, st2.ID), &cur)
+	if cur.State != "queued" {
+		t.Fatalf("state after hand-back = %q, want queued", cur.State)
+	}
+	resp, raw = post("/lease", runq.LeaseRequest{Worker: "w2"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-lease: status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &lease); err != nil {
+		t.Fatal(err)
+	}
+	if lease.Job.Attempt != 2 || !lease.Job.Request.Resume {
+		t.Fatalf("re-lease = %+v, want attempt 2 with resume", lease.Job)
+	}
+}
+
+// newTestServerFrom wraps an already-constructed Server in httptest.
+func newTestServerFrom(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestWorkerEndToEnd runs a real runq.Worker against the service: the
+// job executes on the worker's engine, episodes stream back into the
+// served store, and the aggregate is bit-identical to a local run.
+func TestWorkerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	store := results.NewMemStore()
+	q, err := runq.Open("", runq.WithMaxConcurrent(0), runq.WithLeaseTTL(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, WithQueue(q))
+	defer q.Shutdown(context.Background())
+	ts := newTestServerFrom(t, srv)
+
+	st := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"remote-ds2","runs":4,"seed":300}`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w := &runq.Worker{Server: ts.URL, Name: "tw1", Workers: 4, Poll: 20 * time.Millisecond}
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = w.Run(ctx)
+	}()
+
+	final := waitRun(t, ts.URL, st.ID, 2*time.Minute)
+	if final.State != "done" {
+		t.Fatalf("remote run finished %q: %s", final.State, final.Error)
+	}
+	cancel()
+	<-workerDone
+
+	eps, err := store.Episodes("remote-ds2")
+	if err != nil || len(eps) != 4 {
+		t.Fatalf("served store has %d episodes (%v), want 4", len(eps), err)
+	}
+
+	// A local run of the same campaign produces the identical record.
+	local := results.NewMemStore()
+	c := experiment.Campaign{Name: "remote-ds2", Scenario: scenario.Named("DS-2"), Mode: core.ModeSmart, ExpectCrashes: true}
+	if _, err := experiment.RunCampaign(c, 4, 300, nil, experiment.WithSink(local)); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Campaigns()
+	got, _ := store.Campaigns()
+	rawWant, _ := json.Marshal(want)
+	rawGot, _ := json.Marshal(got)
+	if string(rawWant) != string(rawGot) {
+		t.Errorf("remote aggregate diverged from local run:\nlocal:  %s\nremote: %s", rawWant, rawGot)
+	}
+}
+
+// TestServeInlineSpecAndGenerate: POST /runs accepts an inline
+// scenegen spec and generator parameters, and both execute for real.
+func TestServeInlineSpecAndGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	store := results.NewMemStore()
+	ts := newTestServer(t, store, WithWorkers(4))
+
+	// Inline spec: a registered spec's JSON resubmitted under a new name.
+	ds1, ok := scenegen.Lookup("DS-1")
+	if !ok {
+		t.Fatal("DS-1 not registered")
+	}
+	spec := *ds1
+	spec.Name = "inline-ds1"
+	body, err := json.Marshal(map[string]any{
+		"spec": &spec, "mode": "golden", "runs": 2, "seed": 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := postRun(t, ts.URL, string(body))
+	// Unnamed inline sources get a job-unique record name, so two
+	// unnamed sweeps can never clobber each other's records.
+	if st.Scenario != "inline-ds1" || st.Name != "inline-ds1-golden-job1" {
+		t.Fatalf("inline-spec status = %+v", st)
+	}
+	if final := waitRun(t, ts.URL, st.ID, 2*time.Minute); final.State != "done" {
+		t.Fatalf("inline-spec run finished %q: %s", final.State, final.Error)
+	}
+	if eps, err := store.Episodes("inline-ds1-golden-job1"); err != nil || len(eps) != 2 {
+		t.Fatalf("inline-spec episodes = %d (%v), want 2", len(eps), err)
+	}
+
+	// Generator parameters: {} sweeps the default space.
+	st2 := postRun(t, ts.URL, `{"generate":{"max_extras":2},"mode":"golden","name":"gen-golden","runs":2,"seed":11}`)
+	if st2.Scenario != "generated" {
+		t.Fatalf("generate status = %+v", st2)
+	}
+	if final := waitRun(t, ts.URL, st2.ID, 2*time.Minute); final.State != "done" {
+		t.Fatalf("generate run finished %q: %s", final.State, final.Error)
+	}
+	if eps, err := store.Episodes("gen-golden"); err != nil || len(eps) != 2 {
+		t.Fatalf("generate episodes = %d (%v), want 2", len(eps), err)
+	}
+}

@@ -1,32 +1,36 @@
 // Package campaignd is the HTTP campaign service: it serves a
 // results.Store (campaign list, per-campaign records and episodes,
-// Table II summaries, store-vs-store diffs) and launches new campaigns
-// on the execution engine, streaming their episodes into the same
-// store with live progress. It is the many-clients face of the results
-// API — robotack-campaign writes a store on one machine, robotack-serve
-// makes it queryable, diffable and extendable for everyone else.
+// Table II summaries, store-vs-store diffs) and queues new campaign
+// runs on a durable run queue (internal/runq) — jobs survive
+// restarts, execute under a bounded local concurrency, can be leased
+// by remote robotack-worker processes, stream their episodes into the
+// same store, and report live progress over Server-Sent Events. It is
+// the many-clients face of the results API — robotack-campaign writes
+// a store on one machine, robotack-serve makes it queryable, diffable
+// and extendable for everyone else.
 package campaignd
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"strconv"
 	"strings"
-	"sync"
+	"time"
 
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/results"
-	"github.com/robotack/robotack/internal/scenario"
-	"github.com/robotack/robotack/internal/scenegen"
+	"github.com/robotack/robotack/internal/runq"
 )
 
 // Server is the HTTP campaign service. Create one with New; it
 // implements http.Handler.
 //
-// Endpoints:
+// Query endpoints:
 //
 //	GET  /campaigns                    stored campaign aggregates
 //	GET  /campaigns/{name}             one aggregate (recomputed from
@@ -36,24 +40,37 @@ import (
 //	GET  /summary                      Table II text for the whole store
 //	GET  /diff?other=path              diff the store against another JSONL store
 //	GET  /diff?a=name&b=name           diff two campaigns within the store
-//	POST /runs                         launch a campaign (JSON body: RunRequest)
-//	GET  /runs                         all launched runs' statuses
-//	GET  /runs/{id}                    one run's status and progress
+//
+// Run-queue endpoints:
+//
+//	POST   /runs                       queue a campaign (JSON body: RunRequest)
+//	GET    /runs                       all queued runs' statuses
+//	GET    /runs/{id}                  one run's status and progress
+//	GET    /runs/{id}/events           live progress over Server-Sent Events
+//	DELETE /runs/{id}                  cancel a queued or running job
+//
+// Remote-worker protocol (see runq's protocol types):
+//
+//	POST /lease                        lease the next queued job
+//	POST /runs/{id}/heartbeat          keep the lease alive, report progress
+//	POST /runs/{id}/episodes           stream episode records into the store
+//	POST /runs/{id}/complete           deliver the final aggregate
+//	POST /runs/{id}/fail               fail or hand back the job
 type Server struct {
-	store   results.Store
-	workers int
-	oracles map[core.Vector]core.Oracle
-	mux     *http.ServeMux
-
-	mu     sync.Mutex
-	nextID int
-	runs   map[int]*RunStatus
+	store    results.Store
+	workers  int
+	oracles  map[core.Vector]core.Oracle
+	queue    *runq.Queue
+	ownQueue bool
+	exec     runq.Executor
+	mux      *http.ServeMux
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
-// WithWorkers sets the engine worker-pool size for launched runs.
+// WithWorkers sets the engine worker-pool size for locally executed
+// runs.
 func WithWorkers(n int) Option {
 	return func(s *Server) {
 		if n >= 1 {
@@ -62,22 +79,49 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithOracles supplies trained safety-hijacker oracles to launched
-// runs (default: the analytic oracle).
+// WithOracles supplies trained safety-hijacker oracles to locally
+// executed runs (default: the analytic oracle).
 func WithOracles(o map[core.Vector]core.Oracle) Option {
 	return func(s *Server) { s.oracles = o }
 }
 
-// New creates the campaign service over store.
+// WithQueue serves an externally owned queue (e.g. a durable one
+// opened on a -queue-dir). The caller keeps responsibility for
+// shutting it down; without this option the server creates and owns a
+// memory-only queue.
+func WithQueue(q *runq.Queue) Option {
+	return func(s *Server) { s.queue = q }
+}
+
+// WithExecutor replaces the local executor (tests use stubs; the
+// default runs jobs on per-job engines into the served store).
+func WithExecutor(exec runq.Executor) Option {
+	return func(s *Server) { s.exec = exec }
+}
+
+// New creates the campaign service over store and starts its queue's
+// dispatcher.
 func New(store results.Store, opts ...Option) *Server {
 	s := &Server{
 		store:   store,
 		workers: engine.DefaultWorkers(),
-		runs:    make(map[int]*RunStatus),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.queue == nil {
+		q, err := runq.Open("") // memory-only queues cannot fail to open
+		if err != nil {
+			panic(err)
+		}
+		s.queue = q
+		s.ownQueue = true
+	}
+	if s.exec == nil {
+		s.exec = runq.LocalExecutor{Store: s.store, Oracles: s.oracles, Workers: s.workers}
+	}
+	s.queue.Start(s.exec)
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("GET /campaigns/{name}", s.handleCampaign)
@@ -88,7 +132,25 @@ func New(store results.Store, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /runs", s.handleLaunch)
 	s.mux.HandleFunc("GET /runs", s.handleRuns)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("DELETE /runs/{id}", s.handleRunCancel)
+	s.mux.HandleFunc("POST /lease", s.handleLease)
+	s.mux.HandleFunc("POST /runs/{id}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /runs/{id}/episodes", s.handleWorkerEpisodes)
+	s.mux.HandleFunc("POST /runs/{id}/complete", s.handleComplete)
+	s.mux.HandleFunc("POST /runs/{id}/fail", s.handleFail)
 	return s
+}
+
+// Close shuts down a server-owned queue (no-op when the queue came
+// from WithQueue — its owner shuts it down).
+func (s *Server) Close() error {
+	if !s.ownQueue {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return s.queue.Shutdown(ctx)
 }
 
 // ServeHTTP implements http.Handler.
@@ -228,23 +290,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// RunRequest is the POST /runs body.
-type RunRequest struct {
-	// Scenario names a registered spec ("DS-1".."DS-5" or anything
-	// registered in scenegen).
-	Scenario string `json:"scenario"`
-	// Mode is golden | smart | nosh | random.
-	Mode string `json:"mode"`
-	// Name keys the persisted records (default "<scenario>-<mode>").
-	Name string `json:"name,omitempty"`
-	Runs int    `json:"runs"`
-	Seed int64  `json:"seed"`
-	// Resume folds episodes already stored under Name instead of
-	// re-running them.
-	Resume bool `json:"resume,omitempty"`
-}
+// RunRequest is the POST /runs body: exactly one of a registered
+// scenario name, an inline declarative spec, or procedural-generator
+// parameters, plus mode/runs/seed.
+type RunRequest = runq.Request
 
-// RunStatus is the progress of one launched run.
+// RunStatus is the progress of one queued run.
 type RunStatus struct {
 	ID       int    `json:"id"`
 	Name     string `json:"name"`
@@ -252,22 +303,25 @@ type RunStatus struct {
 	Mode     string `json:"mode"`
 	Total    int    `json:"total"`
 	Done     int    `json:"done"`
-	State    string `json:"state"` // running | done | failed
-	Error    string `json:"error,omitempty"`
+	// State is queued | running | done | failed | cancelled.
+	State   string `json:"state"`
+	Attempt int    `json:"attempt,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
-func parseMode(s string) (core.Mode, error) {
-	switch strings.ToLower(s) {
-	case "golden":
-		return 0, nil
-	case "smart":
-		return core.ModeSmart, nil
-	case "nosh":
-		return core.ModeNoSH, nil
-	case "random":
-		return core.ModeRandom, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (want golden|smart|nosh|random)", s)
+func statusOf(j runq.Job) RunStatus {
+	return RunStatus{
+		ID:       j.ID,
+		Name:     j.Request.RecordName(),
+		Scenario: j.Request.Label(),
+		Mode:     strings.ToLower(j.Request.Mode),
+		Total:    j.Total,
+		Done:     j.Done,
+		State:    string(j.State),
+		Attempt:  j.Attempt,
+		Worker:   j.Worker,
+		Error:    j.Error,
 	}
 }
 
@@ -277,116 +331,276 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	mode, err := parseMode(req.Mode)
-	if err != nil {
+	// Validate before Submit so a client fault reads as 400 while a
+	// server fault past validation (e.g. a full disk under the journal)
+	// reads as 500/503.
+	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Runs <= 0 {
-		writeError(w, http.StatusBadRequest, "runs must be positive, got %d", req.Runs)
-		return
-	}
-	if _, ok := scenegen.Lookup(req.Scenario); !ok {
-		writeError(w, http.StatusBadRequest, "unknown scenario %q (have %v)", req.Scenario, scenegen.Names())
-		return
-	}
-	name := req.Name
-	if name == "" {
-		name = fmt.Sprintf("%s-%s", req.Scenario, strings.ToLower(req.Mode))
-	}
-
-	s.mu.Lock()
-	s.nextID++
-	st := &RunStatus{
-		ID:       s.nextID,
-		Name:     name,
-		Scenario: req.Scenario,
-		Mode:     strings.ToLower(req.Mode),
-		Total:    req.Runs,
-		State:    "running",
-	}
-	s.runs[st.ID] = st
-	s.mu.Unlock()
-
-	go s.execute(st, req, mode)
-	writeJSON(w, http.StatusAccepted, st.snapshot(&s.mu))
-}
-
-// execute runs one launched campaign to completion, updating the
-// status as episodes finish.
-func (s *Server) execute(st *RunStatus, req RunRequest, mode core.Mode) {
-	eng := engine.New(
-		engine.WithWorkers(s.workers),
-		engine.WithProgress(func(done, total int) {
-			s.mu.Lock()
-			st.Done = done
-			s.mu.Unlock()
-		}),
-	)
-	src := scenario.Named(req.Scenario)
-	opts := []experiment.RunOption{
-		experiment.WithSink(s.store),
-		experiment.WithRecordName(st.Name),
-	}
-	if req.Resume {
-		opts = append(opts, experiment.WithResume(s.store))
-	}
-	var err error
-	if mode == 0 {
-		_, err = experiment.RunGoldenOn(eng, src, req.Runs, req.Seed, opts...)
-	} else {
-		c := experiment.Campaign{
-			Name:          st.Name,
-			Scenario:      src,
-			Mode:          mode,
-			ExpectCrashes: true,
-		}
-		_, err = experiment.RunCampaignOn(eng, c, req.Runs, req.Seed, s.oracles, opts...)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	job, err := s.queue.Submit(req)
 	if err != nil {
-		st.State = "failed"
-		st.Error = err.Error()
+		status := http.StatusInternalServerError
+		if errors.Is(err, runq.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
-	st.State = "done"
-}
-
-// snapshot copies the status under the server lock.
-func (st *RunStatus) snapshot(mu *sync.Mutex) RunStatus {
-	mu.Lock()
-	defer mu.Unlock()
-	return *st
+	writeJSON(w, http.StatusAccepted, statusOf(job))
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	out := make([]RunStatus, 0, len(s.runs))
-	for _, st := range s.runs {
-		out = append(out, *st)
+	jobs := s.queue.Jobs()
+	out := make([]RunStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = statusOf(j)
 	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var id int
-	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+// runID parses the {id} path segment, writing the error response on
+// failure. strconv.Atoi rejects trailing garbage — "12abc" must not
+// alias run 12, least of all on DELETE.
+func runID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad run id %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
 		return
 	}
-	s.mu.Lock()
-	st, ok := s.runs[id]
-	var cp RunStatus
-	if ok {
-		cp = *st
-	}
-	s.mu.Unlock()
+	job, ok := s.queue.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no run %d", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, cp)
+	writeJSON(w, http.StatusOK, statusOf(job))
+}
+
+func (s *Server) handleRunCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.queue.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, "no run %d", id)
+		return
+	}
+	job, _ := s.queue.Get(id)
+	writeJSON(w, http.StatusOK, statusOf(job))
+}
+
+// handleRunEvents streams a run's progress as Server-Sent Events: a
+// "progress" event per state change or episode completion, then one
+// terminal "done", "failed" or "cancelled" event, after which the
+// stream closes. A subscriber to an already-terminal run gets just
+// the terminal event.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	job, ch, unsub, err := s.queue.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no run %d", id)
+		return
+	}
+	defer unsub()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// The snapshot was taken atomically with the subscription, so the
+	// client always sees the current state first and no event between
+	// subscribe and snapshot is lost.
+	ev := runq.Event{ID: job.ID, State: job.State, Done: job.Done, Total: job.Total, Error: job.Error}
+	writeSSE(w, ev)
+	fl.Flush()
+	if ev.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+			if ev.State.Terminal() {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE writes one event. Non-terminal updates are named
+// "progress"; the terminal event is named after the final state, so a
+// client can wait with nothing but `grep -m1 'event: done'`.
+func writeSSE(w http.ResponseWriter, ev runq.Event) {
+	name := "progress"
+	if ev.State.Terminal() {
+		name = string(ev.State)
+	}
+	raw, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, raw)
+}
+
+// workerError maps queue errors to protocol statuses: 404 for unknown
+// jobs, 409 for lost leases (the worker's signal to abandon the run).
+func workerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, runq.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, runq.ErrLeaseLost):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return v, false
+	}
+	return v, true
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[runq.LeaseRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.Worker == "" || req.Worker == runq.LocalWorker {
+		writeError(w, http.StatusBadRequest, "worker name required (and %q is reserved)", runq.LocalWorker)
+		return
+	}
+	job, ok := s.queue.Lease(req.Worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, runq.LeaseResponse{
+		Job:            job,
+		LeaseTTLMillis: s.queue.LeaseTTL().Milliseconds(),
+	})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decodeBody[runq.HeartbeatRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.queue.Heartbeat(id, req.Worker, req.Done, req.Total); err != nil {
+		workerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleWorkerEpisodes appends a worker's completed episodes to the
+// served store — through the same Sink interface local runs use, so
+// an episode acknowledged here is as durable as a local one.
+func (s *Server) handleWorkerEpisodes(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decodeBody[runq.EpisodesRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.queue.CheckLease(id, req.Worker); err != nil {
+		workerError(w, err)
+		return
+	}
+	// The lease gates who may write; this gates what they write — a
+	// worker can only append into its own job's campaign and index
+	// range, never clobber another campaign's records.
+	job, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %d", id)
+		return
+	}
+	name := job.Request.RecordName()
+	for _, ep := range req.Episodes {
+		if ep.Campaign != name {
+			writeError(w, http.StatusBadRequest, "episode %d is for campaign %q, job %d writes %q", ep.Index, ep.Campaign, id, name)
+			return
+		}
+		if ep.Index < 0 || ep.Index >= job.Total {
+			writeError(w, http.StatusBadRequest, "episode index %d out of range [0,%d)", ep.Index, job.Total)
+			return
+		}
+	}
+	for _, ep := range req.Episodes {
+		if err := s.store.Append(ep); err != nil {
+			writeError(w, http.StatusInternalServerError, "append episode %d: %v", ep.Index, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decodeBody[runq.CompleteRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.queue.CheckLease(id, req.Worker); err != nil {
+		workerError(w, err)
+		return
+	}
+	if req.Campaign != nil {
+		if err := s.store.PutCampaign(*req.Campaign); err != nil {
+			writeError(w, http.StatusInternalServerError, "store aggregate: %v", err)
+			return
+		}
+	}
+	if err := s.queue.Complete(id, req.Worker); err != nil {
+		workerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decodeBody[runq.FailRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.queue.Fail(id, req.Worker, req.Error, req.Requeue); err != nil {
+		workerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }

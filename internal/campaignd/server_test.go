@@ -58,9 +58,37 @@ func getJSON(t *testing.T, url string, out any) *http.Response {
 	return resp
 }
 
+// newTestServer builds a campaignd server over store and tears its
+// queue down with the test.
+func newTestServer(t *testing.T, store results.Store, opts ...Option) *httptest.Server {
+	t.Helper()
+	srv := New(store, opts...)
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// waitRun polls a run's status until it leaves the live states,
+// returning the terminal status.
+func waitRun(t *testing.T, base string, id int, timeout time.Duration) RunStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var st RunStatus
+	for {
+		getJSON(t, fmt.Sprintf("%s/runs/%d", base, id), &st)
+		if st.State != "queued" && st.State != "running" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %d still in state %q after %v (%d/%d)", id, st.State, timeout, st.Done, st.Total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 func TestServeCampaignQueries(t *testing.T) {
-	ts := httptest.NewServer(New(seededStore(t)))
-	defer ts.Close()
+	ts := newTestServer(t, seededStore(t))
 
 	var recs []results.CampaignRecord
 	getJSON(t, ts.URL+"/campaigns", &recs)
@@ -116,8 +144,7 @@ func TestServeCampaignQueries(t *testing.T) {
 }
 
 func TestServeDiff(t *testing.T) {
-	ts := httptest.NewServer(New(seededStore(t)))
-	defer ts.Close()
+	ts := newTestServer(t, seededStore(t))
 
 	// Campaign-vs-campaign within the store.
 	var d results.CampaignDiff
@@ -166,13 +193,16 @@ func approx(a, b float64) bool {
 }
 
 func TestServeLaunchValidation(t *testing.T) {
-	ts := httptest.NewServer(New(results.NewMemStore()))
-	defer ts.Close()
+	ts := newTestServer(t, results.NewMemStore())
 
 	for _, body := range []string{
-		`{"scenario":"DS-2","mode":"warp","runs":2,"seed":1}`,   // bad mode
-		`{"scenario":"DS-99","mode":"smart","runs":2,"seed":1}`, // unknown scenario
-		`{"scenario":"DS-2","mode":"smart","runs":0,"seed":1}`,  // no runs
+		`{"scenario":"DS-2","mode":"warp","runs":2,"seed":1}`,                            // bad mode
+		`{"scenario":"DS-99","mode":"smart","runs":2,"seed":1}`,                          // unknown scenario
+		`{"scenario":"DS-2","mode":"smart","runs":0,"seed":1}`,                           // no runs
+		`{"mode":"smart","runs":2,"seed":1}`,                                             // no scenario source
+		`{"scenario":"DS-2","generate":{},"mode":"smart","runs":2,"seed":1}`,             // two sources
+		`{"generate":{"target_kinds":["warp-gate"]},"mode":"smart","runs":2,"seed":1}`,   // unknown target kind
+		`{"generate":{"ev_speed":{"min":-5,"max":-1}},"mode":"smart","runs":2,"seed":1}`, // degenerate space
 		`not json`,
 	} {
 		resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(body))
@@ -195,8 +225,7 @@ func TestServeLaunchEndToEnd(t *testing.T) {
 		t.Skip("campaign test")
 	}
 	store := results.NewMemStore()
-	ts := httptest.NewServer(New(store, WithWorkers(4)))
-	defer ts.Close()
+	ts := newTestServer(t, store, WithWorkers(4))
 
 	req := `{"scenario":"DS-2","mode":"smart","name":"api-ds2","runs":3,"seed":300}`
 	resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(req))
@@ -211,18 +240,11 @@ func TestServeLaunchEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted || st.ID == 0 {
 		t.Fatalf("launch: status %d, %+v", resp.StatusCode, st)
 	}
-
-	deadline := time.Now().Add(3 * time.Minute)
-	for {
-		getJSON(t, fmt.Sprintf("%s/runs/%d", ts.URL, st.ID), &st)
-		if st.State != "running" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("run still in state %q after 3 minutes (%d/%d)", st.State, st.Done, st.Total)
-		}
-		time.Sleep(200 * time.Millisecond)
+	if st.State != "queued" {
+		t.Fatalf("accepted run starts %q, want queued", st.State)
 	}
+
+	st = waitRun(t, ts.URL, st.ID, 3*time.Minute)
 	if st.State != "done" {
 		t.Fatalf("run finished in state %q: %s", st.State, st.Error)
 	}
@@ -254,13 +276,7 @@ func TestServeLaunchEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp2.Body.Close()
-	for time.Now().Before(deadline) {
-		getJSON(t, fmt.Sprintf("%s/runs/%d", ts.URL, st2.ID), &st2)
-		if st2.State != "running" {
-			break
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	st2 = waitRun(t, ts.URL, st2.ID, 3*time.Minute)
 	if st2.State != "done" {
 		t.Fatalf("resumed run finished in state %q: %s", st2.State, st2.Error)
 	}

@@ -2,10 +2,12 @@ package results
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/robotack/robotack/internal/core"
@@ -324,4 +326,72 @@ func approxEqual(a, b float64) bool {
 		d = -d
 	}
 	return d < 1e-9
+}
+
+// TestFileStoreConcurrentAppend proves the JSONL store is safe for
+// concurrent Append from multiple in-flight runs — the run queue
+// sinks several campaigns into one store at once. Run under -race;
+// the replay also catches interleaved (torn) lines, which would fail
+// to parse.
+func TestFileStoreConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "concurrent.jsonl")
+	fs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		campaigns = 8
+		episodes  = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, campaigns)
+	for c := 0; c < campaigns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("camp-%d", c)
+			for i := 0; i < episodes; i++ {
+				ep := sampleEpisode(name, i)
+				if err := fs.Append(ep); err != nil {
+					errs <- err
+					return
+				}
+			}
+			agg := NewCampaign(name, "DS-2", core.ModeSmart, true, int64(c))
+			if err := fs.PutCampaign(agg); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the log: every line must parse and every record survive.
+	mem, err := Load(path)
+	if err != nil {
+		t.Fatalf("reloading the concurrently written store: %v", err)
+	}
+	recs, err := mem.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != campaigns {
+		t.Fatalf("replayed %d campaign aggregates, want %d", len(recs), campaigns)
+	}
+	for c := 0; c < campaigns; c++ {
+		eps, err := mem.Episodes(fmt.Sprintf("camp-%d", c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) != episodes {
+			t.Errorf("camp-%d replayed %d episodes, want %d", c, len(eps), episodes)
+		}
+	}
 }

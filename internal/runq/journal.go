@@ -1,0 +1,118 @@
+package runq
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// journalFile is the queue's on-disk log inside the queue directory.
+const journalFile = "queue.jsonl"
+
+// journalLine is the JSONL envelope: one self-describing record per
+// line. Every state transition appends the job's full snapshot, and
+// replay keeps the last line per id — the same last-wins idiom as the
+// results store, so the journal is crash-safe by construction: a torn
+// process leaves a valid prefix (plus at most one partial final line,
+// which replay drops and truncates) and the previous state of every
+// job.
+type journalLine struct {
+	Kind string `json:"kind"`
+	Job  *Job   `json:"job,omitempty"`
+}
+
+const kindJob = "job"
+
+// openJournal opens (creating if needed) dir/queue.jsonl for append,
+// takes an exclusive lock so two server processes cannot share one
+// queue dir, and replays the log into a job map.
+func openJournal(dir string) (*os.File, map[int]*Job, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("runq: create queue dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runq: open journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("runq: %s: %w", path, err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("runq: %s: %w", path, err)
+	}
+	jobs, good, err := replay(raw, path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good < len(raw) {
+		// A torn final line from a crash mid-append: cut it so the
+		// next append starts on a clean line boundary instead of
+		// concatenating onto garbage.
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("runq: %s: drop torn tail: %w", path, err)
+		}
+	}
+	return f, jobs, nil
+}
+
+// replay folds the journal bytes last-wins into a job map, returning
+// how many leading bytes parsed cleanly. An unparsable final line —
+// the disk state a kill -9 mid-append leaves — is tolerated and
+// excluded from the good length; corruption anywhere earlier is an
+// error, because silently skipping it could resurrect stale states.
+func replay(raw []byte, path string) (map[int]*Job, int, error) {
+	jobs := make(map[int]*Job)
+	offset, lineno := 0, 0
+	for offset < len(raw) {
+		end := len(raw)
+		next := end
+		if nl := bytes.IndexByte(raw[offset:], '\n'); nl >= 0 {
+			end = offset + nl
+			next = end + 1
+		}
+		line := raw[offset:end]
+		lineno++
+		if len(bytes.TrimSpace(line)) > 0 {
+			var l journalLine
+			if err := json.Unmarshal(line, &l); err != nil {
+				if len(bytes.TrimSpace(raw[next:])) == 0 {
+					return jobs, offset, nil
+				}
+				return nil, 0, fmt.Errorf("runq: %s:%d: %w", path, lineno, err)
+			}
+			if l.Kind != kindJob || l.Job == nil {
+				return nil, 0, fmt.Errorf("runq: %s:%d: unknown record kind %q", path, lineno, l.Kind)
+			}
+			j := *l.Job
+			jobs[j.ID] = &j
+		}
+		offset = next
+	}
+	return jobs, offset, nil
+}
+
+// appendJob writes one job snapshot to the journal (no-op when the
+// queue is memory-only).
+func appendJob(f *os.File, j *Job) error {
+	if f == nil {
+		return nil
+	}
+	raw, err := json.Marshal(journalLine{Kind: kindJob, Job: j})
+	if err != nil {
+		return fmt.Errorf("runq: encode job %d: %w", j.ID, err)
+	}
+	raw = append(raw, '\n')
+	if _, err := f.Write(raw); err != nil {
+		return fmt.Errorf("runq: journal job %d: %w", j.ID, err)
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package runq
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-writer
+// discipline on the queue dir is then the operator's responsibility.
+func lockFile(*os.File) error { return nil }

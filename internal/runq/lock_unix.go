@@ -1,0 +1,20 @@
+//go:build unix
+
+package runq
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking flock on the journal file:
+// two robotack-serve processes on one -queue-dir would double-execute
+// jobs and interleave journal writers. The lock dies with the file
+// descriptor, so a kill -9 never leaves a stale lock behind.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("queue dir is locked by another process: %w", err)
+	}
+	return nil
+}

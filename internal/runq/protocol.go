@@ -1,0 +1,60 @@
+package runq
+
+import "github.com/robotack/robotack/internal/results"
+
+// The wire types of the remote-worker protocol. A worker process on
+// another machine drives the queue over four verbs:
+//
+//	POST /lease                  LeaseRequest  → LeaseResponse (204: empty queue)
+//	POST /runs/{id}/heartbeat    HeartbeatRequest; 409 means the lease is lost
+//	POST /runs/{id}/episodes     EpisodesRequest, streamed in batches as episodes complete
+//	POST /runs/{id}/complete     CompleteRequest with the final aggregate
+//	POST /runs/{id}/fail         FailRequest (requeue=true hands the job back)
+//
+// Episode records flow through the server into the served results
+// store, so a worker crash loses nothing that was acknowledged: the
+// requeued job's next attempt resumes from exactly those episodes.
+
+// LeaseRequest asks for the next queued job.
+type LeaseRequest struct {
+	// Worker is the worker's self-chosen name; heartbeats, episode
+	// appends and completion must carry the same name.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse hands one job to the worker.
+type LeaseResponse struct {
+	Job Job `json:"job"`
+	// LeaseTTLMillis is how long the lease lives without a heartbeat.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// HeartbeatRequest extends the lease and reports progress.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+}
+
+// EpisodesRequest streams completed episode records into the served
+// store.
+type EpisodesRequest struct {
+	Worker   string                  `json:"worker"`
+	Episodes []results.EpisodeRecord `json:"episodes"`
+}
+
+// CompleteRequest finishes a job, delivering the campaign aggregate
+// the worker folded.
+type CompleteRequest struct {
+	Worker   string                  `json:"worker"`
+	Campaign *results.CampaignRecord `json:"campaign,omitempty"`
+}
+
+// FailRequest reports a failed or abandoned execution.
+type FailRequest struct {
+	Worker string `json:"worker"`
+	Error  string `json:"error,omitempty"`
+	// Requeue hands the job back to the queue (a worker shutting down)
+	// instead of failing it terminally.
+	Requeue bool `json:"requeue,omitempty"`
+}

@@ -1,0 +1,617 @@
+package runq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors the queue's operations return; the HTTP layer maps them to
+// status codes (404, 409).
+var (
+	// ErrNotFound means no job has the given id.
+	ErrNotFound = errors.New("runq: no such job")
+	// ErrLeaseLost means the caller no longer holds the job: it was
+	// cancelled, requeued after a missed heartbeat, or leased by
+	// someone else. The worker must abandon the run.
+	ErrLeaseLost = errors.New("runq: lease lost")
+	// ErrClosed means the queue is shutting down.
+	ErrClosed = errors.New("runq: queue closed")
+)
+
+// Executor runs one leased job to completion. Implementations must
+// return promptly with ctx.Err() once ctx is cancelled, and must call
+// progress as episodes complete. LocalExecutor is the standard one.
+type Executor interface {
+	Execute(ctx context.Context, job Job, progress func(done, total int)) error
+}
+
+// Queue is the durable run queue: submitted jobs persist to the
+// journal, a dispatcher executes at most a bounded number locally,
+// and remote workers lease the rest over the HTTP protocol. All
+// methods are safe for concurrent use.
+type Queue struct {
+	maxConcurrent int
+	leaseTTL      time.Duration
+	logf          func(format string, args ...any)
+
+	mu      sync.Mutex
+	jobs    map[int]*Job
+	pending []int // queued job ids, FIFO; requeues go to the front
+	nextID  int
+	journal *os.File
+	subs    map[int]map[chan Event]bool
+	cancels map[int]context.CancelFunc // local in-flight jobs
+	running int                        // local in-flight count
+	closed  bool
+	started bool
+
+	exec   Executor
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithMaxConcurrent bounds how many jobs the queue's own dispatcher
+// executes at once (default 1). Zero disables local execution
+// entirely — jobs then run only on remote workers.
+func WithMaxConcurrent(n int) Option {
+	return func(q *Queue) {
+		if n >= 0 {
+			q.maxConcurrent = n
+		}
+	}
+}
+
+// WithLeaseTTL sets how long a remote worker's lease lives without a
+// heartbeat before the job is requeued (default 30s).
+func WithLeaseTTL(d time.Duration) Option {
+	return func(q *Queue) {
+		if d > 0 {
+			q.leaseTTL = d
+		}
+	}
+}
+
+// WithLog sets a logger for background failures (journal write errors,
+// lease expirations) that have no caller to return to.
+func WithLog(logf func(format string, args ...any)) Option {
+	return func(q *Queue) {
+		if logf != nil {
+			q.logf = logf
+		}
+	}
+}
+
+// Open creates a queue journaled under dir, replaying any existing
+// journal: terminal jobs stay terminal, and jobs that were queued or
+// running when the previous process died are requeued — their next
+// execution resumes from the results store's episodes, bit-identically.
+// An empty dir means a memory-only queue (nothing survives the
+// process).
+func Open(dir string, opts ...Option) (*Queue, error) {
+	q := &Queue{
+		maxConcurrent: 1,
+		leaseTTL:      30 * time.Second,
+		logf:          func(string, ...any) {},
+		jobs:          make(map[int]*Job),
+		subs:          make(map[int]map[chan Event]bool),
+		cancels:       make(map[int]context.CancelFunc),
+	}
+	for _, opt := range opts {
+		opt(q)
+	}
+	if dir != "" {
+		f, jobs, err := openJournal(dir)
+		if err != nil {
+			return nil, err
+		}
+		q.journal = f
+		q.jobs = jobs
+	}
+	for id, j := range q.jobs {
+		if id > q.nextID {
+			q.nextID = id
+		}
+		if j.State == StateRunning {
+			// The previous process died mid-run; requeue. The journal
+			// gets the corrected state so a second replay agrees.
+			j.State = StateQueued
+			j.Worker = ""
+			j.lease = time.Time{}
+			if err := appendJob(q.journal, j); err != nil {
+				q.journal.Close()
+				return nil, err
+			}
+		}
+	}
+	ids := make([]int, 0, len(q.jobs))
+	for id, j := range q.jobs {
+		if j.State == StateQueued {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	q.pending = ids
+	return q, nil
+}
+
+// Start launches the dispatcher and the lease sweeper. Jobs submitted
+// before Start stay queued until it is called; calling it twice is a
+// no-op.
+func (q *Queue) Start(exec Executor) {
+	q.mu.Lock()
+	if q.started || q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.started = true
+	q.exec = exec
+	q.ctx, q.cancel = context.WithCancel(context.Background())
+	q.mu.Unlock()
+
+	q.wg.Add(1)
+	go q.sweep()
+	q.dispatch()
+}
+
+// sweep periodically requeues remote jobs whose lease expired without
+// a heartbeat.
+func (q *Queue) sweep() {
+	defer q.wg.Done()
+	tick := q.leaseTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.ctx.Done():
+			return
+		case <-t.C:
+			q.expireLeases()
+		}
+	}
+}
+
+func (q *Queue) expireLeases() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	for _, j := range q.jobs {
+		if j.State == StateRunning && !j.lease.IsZero() && now.After(j.lease) {
+			q.logf("runq: job %d: worker %q lost its lease; requeueing", j.ID, j.Worker)
+			q.requeueLocked(j)
+		}
+	}
+	q.dispatchLocked()
+}
+
+// requeueLocked puts a previously running job back at the front of
+// the queue; its next attempt resumes from the store.
+func (q *Queue) requeueLocked(j *Job) {
+	j.State = StateQueued
+	j.Worker = ""
+	j.lease = time.Time{}
+	q.pending = append([]int{j.ID}, q.pending...)
+	q.journalLocked(j)
+	q.publishLocked(j)
+}
+
+// Submit validates and enqueues a request, returning the journaled
+// job.
+func (q *Queue) Submit(req Request) (Job, error) {
+	if err := req.Validate(); err != nil {
+		return Job{}, err
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	q.nextID++
+	if req.Name == "" && (req.Spec != nil || req.Generate != nil) {
+		// Unnamed inline sources would all collapse onto one campaign
+		// key ("generated-smart") and clobber or cross-resume each
+		// other's records; bake the job id into the key at enqueue so
+		// it stays stable across attempts yet unique per job.
+		req.Name = fmt.Sprintf("%s-%s-job%d", req.Label(), strings.ToLower(req.Mode), q.nextID)
+	}
+	j := &Job{ID: q.nextID, Request: req, State: StateQueued, Total: req.Runs}
+	q.jobs[j.ID] = j
+	q.pending = append(q.pending, j.ID)
+	if err := appendJob(q.journal, j); err != nil {
+		// An unjournaled job would silently vanish on restart; refuse it.
+		delete(q.jobs, j.ID)
+		q.pending = q.pending[:len(q.pending)-1]
+		q.nextID--
+		q.mu.Unlock()
+		return Job{}, err
+	}
+	q.publishLocked(j)
+	snap := *j
+	q.mu.Unlock()
+	q.dispatch()
+	return snap, nil
+}
+
+// Get returns a snapshot of one job.
+func (q *Queue) Get(id int) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns snapshots of every job, sorted by id.
+func (q *Queue) Jobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cancel cancels a job: a queued job goes terminal immediately, a
+// locally running job has its engine context cancelled, and a
+// remotely leased job is marked cancelled here — the worker finds out
+// on its next heartbeat and abandons the run. Cancelling a terminal
+// job is a no-op.
+func (q *Queue) Cancel(id int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if j.State.Terminal() {
+		return nil
+	}
+	if j.State == StateQueued {
+		for i, pid := range q.pending {
+			if pid == id {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	j.State = StateCancelled
+	j.Worker = ""
+	j.lease = time.Time{}
+	q.journalLocked(j)
+	q.publishLocked(j)
+	if cancel := q.cancels[id]; cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+// Subscribe registers for a job's events, returning the job's current
+// snapshot (taken atomically with the registration, so no event is
+// missed in between) and the event channel. The returned func
+// unsubscribes; slow subscribers lose oldest events first, never the
+// terminal one.
+func (q *Queue) Subscribe(id int) (Job, <-chan Event, func(), error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, 64)
+	if q.subs[id] == nil {
+		q.subs[id] = make(map[chan Event]bool)
+	}
+	q.subs[id][ch] = true
+	unsub := func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		delete(q.subs[id], ch)
+		if len(q.subs[id]) == 0 {
+			delete(q.subs, id)
+		}
+	}
+	return *j, ch, unsub, nil
+}
+
+// publishLocked fans the job's current state out to its subscribers.
+// Sends never block: a full channel drops its oldest event to make
+// room, so progress may be thinned but the terminal event always
+// lands.
+func (q *Queue) publishLocked(j *Job) {
+	ev := j.event()
+	for ch := range q.subs[j.ID] {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+func (q *Queue) journalLocked(j *Job) {
+	if err := appendJob(q.journal, j); err != nil {
+		q.logf("%v", err)
+	}
+}
+
+// progress records episode completions reported by an executor or a
+// heartbeat. Progress only moves forward.
+func (q *Queue) progress(id int, done, total int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != StateRunning || done <= j.Done {
+		return
+	}
+	j.Done = done
+	if total > 0 {
+		j.Total = total
+	}
+	q.publishLocked(j)
+}
+
+// dispatch starts queued jobs on the local executor while slots are
+// free.
+func (q *Queue) dispatch() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.dispatchLocked()
+}
+
+func (q *Queue) dispatchLocked() {
+	if !q.started || q.closed || q.ctx.Err() != nil {
+		return
+	}
+	for q.running < q.maxConcurrent && len(q.pending) > 0 {
+		id := q.pending[0]
+		q.pending = q.pending[1:]
+		j := q.jobs[id]
+		j.State = StateRunning
+		j.Attempt++
+		j.Worker = LocalWorker
+		j.lease = time.Time{}
+		q.journalLocked(j)
+		q.publishLocked(j)
+		q.running++
+		ctx, cancel := context.WithCancel(q.ctx)
+		q.cancels[id] = cancel
+		q.wg.Add(1)
+		go q.runLocal(ctx, cancel, *j)
+	}
+}
+
+// runLocal executes one job on the local executor and records its
+// outcome: done, failed, cancelled by a client, or — when the whole
+// queue is shutting down — requeued for the next process to resume.
+func (q *Queue) runLocal(ctx context.Context, cancel context.CancelFunc, job Job) {
+	defer q.wg.Done()
+	err := q.exec.Execute(ctx, job, func(done, total int) { q.progress(job.ID, done, total) })
+	cancel()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.running--
+	delete(q.cancels, job.ID)
+	j := q.jobs[job.ID]
+	switch {
+	case j.State == StateCancelled:
+		// Cancel already recorded the terminal state; the executor just
+		// returned from the context cancellation.
+	case err == nil:
+		j.State = StateDone
+		j.Done = j.Total
+		j.Worker = ""
+		q.journalLocked(j)
+		q.publishLocked(j)
+	case q.ctx.Err() != nil && errors.Is(err, context.Canceled):
+		// Shutdown interrupted the job; hand it to the next process.
+		q.requeueLocked(j)
+	default:
+		j.State = StateFailed
+		j.Error = err.Error()
+		j.Worker = ""
+		q.journalLocked(j)
+		q.publishLocked(j)
+	}
+	q.dispatchLocked()
+}
+
+// LocalWorker is the reserved worker name of the queue's own
+// dispatcher; remote workers may not lease under it.
+const LocalWorker = "local"
+
+// Lease hands the next queued job to a remote worker. The returned
+// job's Request.Resume reflects whether this attempt must fold
+// already-persisted episodes. ok is false when nothing is queued (or
+// the worker name is the reserved local sentinel).
+func (q *Queue) Lease(worker string) (job Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || worker == LocalWorker || len(q.pending) == 0 {
+		return Job{}, false
+	}
+	id := q.pending[0]
+	q.pending = q.pending[1:]
+	j := q.jobs[id]
+	j.State = StateRunning
+	j.Attempt++
+	j.Worker = worker
+	j.lease = time.Now().Add(q.leaseTTL)
+	q.journalLocked(j)
+	q.publishLocked(j)
+	snap := *j
+	snap.Request.Resume = j.Resume()
+	return snap, true
+}
+
+// LeaseTTL reports the heartbeat deadline workers must beat.
+func (q *Queue) LeaseTTL() time.Duration { return q.leaseTTL }
+
+// remotelyLeasedBy reports whether worker holds a live remote lease on
+// the job. The lease-expiry check (!lease.IsZero()) structurally bars
+// remote operations from touching locally-dispatched jobs, whatever
+// name a worker chose.
+func (j *Job) remotelyLeasedBy(worker string) bool {
+	return j.State == StateRunning && j.Worker == worker && !j.lease.IsZero()
+}
+
+// Heartbeat extends a remote worker's lease and records progress. It
+// returns ErrLeaseLost when the worker no longer holds the job — the
+// signal to abandon the run.
+func (q *Queue) Heartbeat(id int, worker string, done, total int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !j.remotelyLeasedBy(worker) {
+		return ErrLeaseLost
+	}
+	j.lease = time.Now().Add(q.leaseTTL)
+	if done > j.Done {
+		j.Done = done
+		if total > 0 {
+			j.Total = total
+		}
+		q.publishLocked(j)
+	}
+	return nil
+}
+
+// CheckLease verifies that worker still holds the running job —
+// the gate for streamed episode appends.
+func (q *Queue) CheckLease(id int, worker string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !j.remotelyLeasedBy(worker) {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// Complete marks a remotely executed job done.
+func (q *Queue) Complete(id int, worker string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !j.remotelyLeasedBy(worker) {
+		return ErrLeaseLost
+	}
+	j.State = StateDone
+	j.Done = j.Total
+	j.Worker = ""
+	j.lease = time.Time{}
+	q.journalLocked(j)
+	q.publishLocked(j)
+	return nil
+}
+
+// Fail records a remote execution failure. With requeue the job goes
+// back to the front of the queue (a worker shutting down mid-run);
+// without it the job is terminally failed.
+func (q *Queue) Fail(id int, worker, msg string, requeue bool) error {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return ErrNotFound
+	}
+	if !j.remotelyLeasedBy(worker) {
+		q.mu.Unlock()
+		return ErrLeaseLost
+	}
+	if requeue {
+		q.requeueLocked(j)
+	} else {
+		j.State = StateFailed
+		j.Error = msg
+		j.Worker = ""
+		j.lease = time.Time{}
+		q.journalLocked(j)
+		q.publishLocked(j)
+	}
+	q.mu.Unlock()
+	q.dispatch()
+	return nil
+}
+
+// Shutdown stops the queue gracefully: no new submissions or leases,
+// in-flight local jobs are cancelled (and requeued in the journal so
+// the next process resumes them), and the journal is flushed and
+// closed. It waits for in-flight work up to ctx's deadline.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	cancel := q.cancel
+	q.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = fmt.Errorf("runq: shutdown: %w", ctx.Err())
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.journal != nil {
+		err := errors.Join(q.journal.Sync(), q.journal.Close())
+		q.journal = nil
+		if waitErr == nil {
+			waitErr = err
+		}
+	}
+	return waitErr
+}
+
+// Close releases the journal file without waiting for anything — the
+// crash-adjacent teardown for queues that were never started (journal
+// writers, tests). Started queues should use Shutdown.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	if q.journal != nil {
+		err := q.journal.Close()
+		q.journal = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package runq
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/scenegen"
+)
+
+// Request describes one campaign run to queue: what to run (exactly
+// one of a registered scenario name, an inline declarative spec, or
+// procedural-generator parameters), the attack mode, and the batch
+// shape. Requests are journaled verbatim, so an inline spec survives a
+// restart without any registry state.
+type Request struct {
+	// Scenario names a registered spec ("DS-1".."DS-5" or anything
+	// registered in scenegen).
+	Scenario string `json:"scenario,omitempty"`
+	// Spec is an inline declarative scenario, compiled per episode.
+	Spec *scenegen.Spec `json:"spec,omitempty"`
+	// Generate samples a fresh procedural scenario per episode from
+	// the given space; zero-valued fields fall back to the defaults,
+	// so {} sweeps the full default space.
+	Generate *scenegen.Space `json:"generate,omitempty"`
+
+	// Mode is golden | smart | nosh | random.
+	Mode string `json:"mode"`
+	// Name keys the persisted records (default "<scenario>-<mode>").
+	Name string `json:"name,omitempty"`
+	Runs int    `json:"runs"`
+	Seed int64  `json:"seed"`
+	// Resume folds episodes already stored under Name instead of
+	// re-running them.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// ParseMode maps the request's mode string to the core attack mode
+// (golden, the attack-free baseline, is mode 0).
+func ParseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "golden":
+		return 0, nil
+	case "smart":
+		return core.ModeSmart, nil
+	case "nosh":
+		return core.ModeNoSH, nil
+	case "random":
+		return core.ModeRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want golden|smart|nosh|random)", s)
+	}
+}
+
+// Validate checks the request without touching the engine: the mode
+// parses, runs is positive, and exactly one scenario source is given
+// and well-formed. It is the POST-time gate — a journaled job is
+// always executable.
+func (r *Request) Validate() error {
+	if _, err := ParseMode(r.Mode); err != nil {
+		return err
+	}
+	if r.Runs <= 0 {
+		return fmt.Errorf("runs must be positive, got %d", r.Runs)
+	}
+	n := 0
+	if r.Scenario != "" {
+		n++
+	}
+	if r.Spec != nil {
+		n++
+	}
+	if r.Generate != nil {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("exactly one of scenario, spec or generate must be set (got %d)", n)
+	}
+	switch {
+	case r.Scenario != "":
+		if _, ok := scenegen.Lookup(r.Scenario); !ok {
+			return fmt.Errorf("unknown scenario %q (have %v)", r.Scenario, scenegen.Names())
+		}
+	case r.Spec != nil:
+		if err := r.Spec.Validate(); err != nil {
+			return fmt.Errorf("inline spec: %w", err)
+		}
+	case r.Generate != nil:
+		// A journaled job must be executable; an invalid space would
+		// fail every episode.
+		if err := r.Generate.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("generate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Source resolves the request's scenario source.
+func (r *Request) Source() (scenario.Source, error) {
+	switch {
+	case r.Scenario != "":
+		return scenario.Named(r.Scenario), nil
+	case r.Spec != nil:
+		return scenario.FromSpec(r.Spec), nil
+	case r.Generate != nil:
+		return scenario.FromGenerator(scenegen.NewGenerator(*r.Generate)), nil
+	default:
+		return nil, fmt.Errorf("runq: request has no scenario source")
+	}
+}
+
+// Label names the scenario source for statuses and reports.
+func (r *Request) Label() string {
+	switch {
+	case r.Scenario != "":
+		return r.Scenario
+	case r.Spec != nil && r.Spec.Name != "":
+		return r.Spec.Name
+	case r.Spec != nil:
+		return "spec"
+	default:
+		return "generated"
+	}
+}
+
+// RecordName is the campaign key the job's records persist under:
+// the explicit Name, or "<scenario label>-<mode>".
+func (r *Request) RecordName() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return fmt.Sprintf("%s-%s", r.Label(), strings.ToLower(r.Mode))
+}

@@ -1,0 +1,89 @@
+// Package runq is the durable campaign run queue behind the HTTP
+// service: jobs (a run request plus id and state) persist to an
+// append-only JSONL journal, a dispatcher executes at most a bounded
+// number of jobs at once on per-job engines, and remote worker
+// processes on other machines lease jobs over HTTP, heartbeat while
+// they run them, and stream episode records back into the served
+// store. The paper's evaluation is thousands of episodes per
+// (scenario, mode) cell; the queue is what lets many clients submit
+// such sweeps and survive restarts — on reopen the journal replays
+// (last state wins, like the results store) and interrupted jobs
+// re-execute bit-identically through experiment.WithResume, because
+// every already-persisted episode folds back instead of re-running.
+package runq
+
+import "time"
+
+// State is a job's lifecycle state. Queued and Running are live;
+// Done, Failed and Cancelled are terminal.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one queued campaign run: the request that defines it, the
+// identity the queue assigned, and its current progress. Job values
+// are snapshots — the queue hands out copies, never its own pointers.
+type Job struct {
+	ID      int     `json:"id"`
+	Request Request `json:"request"`
+	State   State   `json:"state"`
+	// Done/Total is episode progress (Total = Request.Runs).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Attempt counts how many times the job has been leased for
+	// execution; a job re-leased after a crash or lost heartbeat has
+	// Attempt > 1 and must resume from the store's episodes.
+	Attempt int `json:"attempt,omitempty"`
+	// Worker names who is executing the job ("local" for the queue's
+	// own dispatcher, the worker's self-chosen name for remote leases).
+	Worker string `json:"worker,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	// lease is when a remote worker's lease expires; zero for local
+	// execution (the dispatcher's context keeps those alive). Not
+	// journaled: replay requeues running jobs regardless.
+	lease time.Time
+}
+
+// Resume reports whether executing the job must fold episodes already
+// persisted in the results store instead of re-running them: either
+// the client asked for it, or a previous attempt already streamed
+// episodes that a bit-identical aggregate has to reuse. A queued job
+// with any past attempt resumes; a running one resumes when an
+// attempt preceded the current lease.
+func (j Job) Resume() bool {
+	if j.Request.Resume {
+		return true
+	}
+	if j.State == StateQueued {
+		return j.Attempt >= 1
+	}
+	return j.Attempt > 1
+}
+
+// Event is one progress notification for a job, published on every
+// state transition and episode completion. The final event of a
+// subscription carries a terminal State.
+type Event struct {
+	ID    int    `json:"id"`
+	State State  `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+// event builds the job's current Event snapshot.
+func (j *Job) event() Event {
+	return Event{ID: j.ID, State: j.State, Done: j.Done, Total: j.Total, Error: j.Error}
+}

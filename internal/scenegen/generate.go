@@ -83,6 +83,102 @@ func DefaultSpace() Space {
 	}
 }
 
+// KnownTargetKind reports whether the generator understands the given
+// target-kind name — the POST-time validity gate for queued generator
+// requests.
+func KnownTargetKind(kind string) bool {
+	switch kind {
+	case TargetLeadVehicle, TargetJaywalker, TargetParkedVehicle, TargetWalkingPed:
+		return true
+	}
+	return false
+}
+
+// WithDefaults overlays DefaultSpace onto zero-valued fields, so a
+// partial space (e.g. decoded from a request that only names what it
+// changes) never yields degenerate scenarios.
+func (sp Space) WithDefaults() Space {
+	def := DefaultSpace()
+	var zero Range
+	if sp.EVSpeed == zero {
+		sp.EVSpeed = def.EVSpeed
+	}
+	if sp.Duration == zero {
+		sp.Duration = def.Duration
+	}
+	if len(sp.TargetKinds) == 0 {
+		sp.TargetKinds = def.TargetKinds
+	}
+	if sp.MinExtras == 0 && sp.MaxExtras == 0 {
+		sp.MinExtras, sp.MaxExtras = def.MinExtras, def.MaxExtras
+	}
+	if sp.VehicleSpeed == zero {
+		sp.VehicleSpeed = def.VehicleSpeed
+	}
+	if sp.PedSpeed == zero {
+		sp.PedSpeed = def.PedSpeed
+	}
+	if sp.MinGap <= 0 {
+		sp.MinGap = def.MinGap
+	}
+	if sp.OncomingWeight+sp.AheadWeight+sp.ParkedWeight+sp.TrailingWeight <= 0 {
+		sp.OncomingWeight = def.OncomingWeight
+		sp.AheadWeight = def.AheadWeight
+		sp.ParkedWeight = def.ParkedWeight
+		sp.TrailingWeight = def.TrailingWeight
+	}
+	return sp
+}
+
+// Validate rejects spaces whose episodes could never generate —
+// inverted ranges, non-positive speeds or durations, negative counts
+// or weights, unknown target kinds. Apply WithDefaults first:
+// zero-valued fields mean "use the default", not errors.
+func (sp Space) Validate() error {
+	for _, c := range []struct {
+		name     string
+		r        Range
+		positive bool
+	}{
+		{"ev_speed", sp.EVSpeed, true},
+		{"duration", sp.Duration, true},
+		{"vehicle_speed", sp.VehicleSpeed, false},
+		{"ped_speed", sp.PedSpeed, true},
+	} {
+		if c.r.Max < c.r.Min {
+			return fmt.Errorf("scenegen: %s: max %g < min %g", c.name, c.r.Max, c.r.Min)
+		}
+		if c.r.Min < 0 || (c.positive && c.r.Min <= 0) {
+			return fmt.Errorf("scenegen: %s must be positive, got min %g", c.name, c.r.Min)
+		}
+	}
+	for _, kind := range sp.TargetKinds {
+		if !KnownTargetKind(kind) {
+			return fmt.Errorf("scenegen: unknown target kind %q", kind)
+		}
+	}
+	if sp.MinExtras < 0 {
+		return fmt.Errorf("scenegen: min_extras must be non-negative, got %d", sp.MinExtras)
+	}
+	if sp.MaxExtras < sp.MinExtras {
+		return fmt.Errorf("scenegen: max_extras %d < min_extras %d", sp.MaxExtras, sp.MinExtras)
+	}
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{
+		{"oncoming_weight", sp.OncomingWeight},
+		{"ahead_weight", sp.AheadWeight},
+		{"parked_weight", sp.ParkedWeight},
+		{"trailing_weight", sp.TrailingWeight},
+	} {
+		if w.v < 0 {
+			return fmt.Errorf("scenegen: %s must be non-negative, got %g", w.name, w.v)
+		}
+	}
+	return nil
+}
+
 // Generator samples valid, fully-concrete (jitter-free) specs from a
 // Space. It is stateless: all randomness comes from the rng passed to
 // Generate, so one seed maps to exactly one scenario.
@@ -90,15 +186,10 @@ type Generator struct {
 	Space Space
 }
 
-// NewGenerator returns a generator over the given space.
+// NewGenerator returns a generator over the given space; zero-valued
+// fields fall back to DefaultSpace.
 func NewGenerator(space Space) *Generator {
-	if len(space.TargetKinds) == 0 {
-		space.TargetKinds = DefaultSpace().TargetKinds
-	}
-	if space.MinGap <= 0 {
-		space.MinGap = DefaultSpace().MinGap
-	}
-	return &Generator{Space: space}
+	return &Generator{Space: space.WithDefaults()}
 }
 
 // lanes, by lateral bucket, for overlap bookkeeping.
