@@ -14,7 +14,10 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/perception"
+	"github.com/robotack/robotack/internal/planner"
 	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sensor"
 	"github.com/robotack/robotack/internal/sim"
 	"github.com/robotack/robotack/internal/stats"
 )
@@ -177,6 +180,97 @@ func BenchmarkEngineParallel(b *testing.B) {
 }
 
 // Microbenchmarks of the hot paths.
+
+// BenchmarkFrame measures one steady-state closed-loop frame: camera
+// capture, LiDAR scan, the full ADS perception stack and the planner,
+// feeding the EV's actuation back into the world. DS-1 (car following)
+// reaches a stable follow state, so the loop measures the warm frame
+// step indefinitely. The allocs/op metric is the pipeline's per-frame
+// GC pressure — the quantity the pooled pipeline drives to zero.
+func BenchmarkFrame(b *testing.B) {
+	scn, err := scenario.DS1.Instantiate(stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := scn.World
+	cam := sensor.DefaultCamera()
+	adsRNG := stats.NewRNG(7919)
+	ads := perception.NewDefault(cam, adsRNG)
+	lidar := sensor.NewLidar(adsRNG.Split())
+	pl := planner.New(planner.DefaultConfig(scn.CruiseSpeed))
+	var buf sensor.CaptureBuffer
+	step := func(i int) {
+		frame := cam.CaptureInto(&buf, w, i)
+		objs := ads.Process(frame.Image, lidar.Scan(w))
+		d := pl.Plan(objs, ads.Fusion.Config(), w.EV, w.Road)
+		w.Step(d.Accel)
+		w.Halted = false // keep the loop hot past any proximity halt
+	}
+	for i := 0; i < 45; i++ { // warm up: tracks confirmed, fusion settled
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(45 + i)
+	}
+}
+
+// BenchmarkEpisode measures full closed-loop episodes end to end —
+// the unit of work every campaign fans out. The attacked variant runs
+// the malware's second perception stack and the analytic safety
+// hijacker on top of the golden pipeline.
+func BenchmarkEpisode(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  experiment.RunConfig
+	}{
+		{"golden-DS1", experiment.RunConfig{Scenario: scenario.DS1}},
+		{"attacked-DS2", experiment.RunConfig{
+			Scenario: scenario.DS2,
+			Attack:   experiment.AttackSetup{Mode: core.ModeSmart, PreferDisappearFor: sim.ClassPedestrian},
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := c.cfg
+				cfg.Seed = int64(i)
+				if _, err := experiment.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "episodes/s")
+		})
+	}
+}
+
+// BenchmarkCampaignThroughput measures a full campaign (engine fan-out
+// included) in episodes per second — the number the ROADMAP's
+// million-episode sweeps divide by.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	c := experiment.Campaign{
+		Name:               "DS-2-Disappear-R",
+		Scenario:           scenario.DS2,
+		Mode:               core.ModeSmart,
+		PreferDisappearFor: sim.ClassPedestrian,
+		ExpectCrashes:      true,
+	}
+	eng := engine.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunCampaignOn(eng, c, benchRuns, 4000, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runs != benchRuns {
+			b.Fatalf("ran %d episodes, want %d", res.Runs, benchRuns)
+		}
+	}
+	b.ReportMetric(float64(benchRuns*b.N)/b.Elapsed().Seconds(), "episodes/s")
+}
 
 func BenchmarkEpisodeDS1(b *testing.B) {
 	b.ReportAllocs()

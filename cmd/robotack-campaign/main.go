@@ -24,6 +24,7 @@
 //	robotack-campaign -runs 100 -out sweep.jsonl -resume  # pick up an interrupted sweep
 //	robotack-campaign -out new.jsonl -compare old.jsonl   # diff two stores and exit
 //	robotack-campaign -list-scenarios
+//	robotack-campaign -runs 40 -cpuprofile cpu.prof -memprofile mem.prof  # pprof the hot path
 package main
 
 import (
@@ -32,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
@@ -61,8 +64,37 @@ func run() error {
 		out          = flag.String("out", "", "append episode and campaign records to this JSONL results store")
 		resume       = flag.Bool("resume", false, "fold episodes already persisted in -out back into the aggregates instead of re-running them")
 		compare      = flag.String("compare", "", "diff this JSONL store against -out and exit (no campaigns run)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "robotack-campaign: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the end-of-sweep live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "robotack-campaign: -memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range scenegen.Names() {

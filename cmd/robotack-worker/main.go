@@ -13,6 +13,7 @@
 //	robotack-worker -server http://queuehost:8077
 //	robotack-worker -server http://queuehost:8077 -name rack7 -workers 8
 //	robotack-worker -server http://queuehost:8077 -poll 2s
+//	robotack-worker -server http://queuehost:8077 -batch 64
 //
 // On SIGINT/SIGTERM the worker stops leasing, aborts its in-flight
 // job and hands it back to the queue (fail with requeue), then exits 0.
@@ -48,10 +49,14 @@ func run() error {
 		name    = flag.String("name", fmt.Sprintf("%s-%d", host, os.Getpid()), "worker name reported in leases")
 		workers = flag.Int("workers", engine.DefaultWorkers(), "engine workers per job")
 		poll    = flag.Duration("poll", time.Second, "sleep between leases when the queue is empty")
+		batch   = flag.Int("batch", runq.DefaultEpisodeBatch, "completed episodes buffered per episode-stream POST")
 	)
 	flag.Parse()
 	if *server == "" {
 		return fmt.Errorf("-server is required")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be >= 1 (got %d)", *batch)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -62,6 +67,7 @@ func run() error {
 		Name:    *name,
 		Workers: *workers,
 		Poll:    *poll,
+		Batch:   *batch,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

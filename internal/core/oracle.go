@@ -22,7 +22,14 @@ type State struct {
 // Encode produces the neural-network input vector [delta, vrel, arel, T]
 // where T = k frames expressed in seconds.
 func (s State) Encode(k int) []float64 {
-	return []float64{s.Delta, s.VRel.X, s.VRel.Y, s.ARel.X, s.ARel.Y, float64(k) * sim.DT}
+	return s.EncodeInto(make([]float64, 0, EncodeDim), k)
+}
+
+// EncodeInto appends the oracle input vector into dst (re-sliced to
+// zero first) and returns it — the allocation-free variant for the
+// per-frame prediction path.
+func (s State) EncodeInto(dst []float64, k int) []float64 {
+	return append(dst[:0], s.Delta, s.VRel.X, s.VRel.Y, s.ARel.X, s.ARel.Y, float64(k)*sim.DT)
 }
 
 // EncodeDim is the oracle input dimensionality.
@@ -107,21 +114,32 @@ func CloneOracles(oracles map[Vector]Oracle) map[Vector]Oracle {
 }
 
 // NNOracle wraps a trained feed-forward network (paper §IV-B) as an
-// Oracle.
+// Oracle. Predictions run through the network's pooled inference path
+// (nn.Network.Infer), so a warm PredictDelta call performs zero heap
+// allocations; the scratch makes an NNOracle single-goroutine —
+// concurrent episodes clone it (OracleCloner).
 type NNOracle struct {
 	Net *nn.Network
+
+	scratch *nn.InferScratch
+	in      []float64
 }
 
 var _ OracleCloner = (*NNOracle)(nil)
 
 // PredictDelta implements Oracle.
 func (o *NNOracle) PredictDelta(s State, k int) float64 {
-	return o.Net.Predict(s.Encode(k))
+	if o.scratch == nil {
+		o.scratch = o.Net.NewInferScratch()
+		o.in = make([]float64, 0, EncodeDim)
+	}
+	o.in = s.EncodeInto(o.in, k)
+	return o.Net.Infer(o.scratch, o.in)[0]
 }
 
-// CloneOracle implements OracleCloner: the network's forward pass
-// caches activations per layer, so each concurrent episode gets its
-// own copy of the weights and scratch.
+// CloneOracle implements OracleCloner: the network's inference scratch
+// is per-goroutine, so each concurrent episode runner gets its own
+// copy of the weights and scratch.
 func (o *NNOracle) CloneOracle() Oracle { return &NNOracle{Net: o.Net.Clone()} }
 
 // SafetyHijackerConfig parametrizes the when-to-attack decision.

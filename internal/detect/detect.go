@@ -135,7 +135,10 @@ func DefaultConfig() Config {
 // Detector is the stateful detector surrogate. It is stateful only for
 // the misdetection-run model, which needs to remember which component
 // is currently inside a miss run (real detectors lose an object for
-// runs of consecutive frames, not independently per frame).
+// runs of consecutive frames, not independently per frame). All
+// per-frame storage (components, detections, track memory) is owned by
+// the struct and reused, so a warm Detect call does not allocate; the
+// returned slice is valid until the next Detect call.
 type Detector struct {
 	cfg Config
 	rng *stats.RNG
@@ -144,7 +147,9 @@ type Detector struct {
 	queue   []int32
 	gen     int32
 
-	prev []detTrack
+	prev, next []detTrack  // miss-run memory, double-buffered
+	comps      []component // per-frame component scratch
+	out        []Detection // per-frame output scratch
 }
 
 // detTrack is the internal per-component memory for the miss-run model.
@@ -165,17 +170,22 @@ func New(cfg Config, rng *stats.RNG) *Detector {
 func NewDefault(rng *stats.RNG) *Detector { return New(DefaultConfig(), rng) }
 
 // Reset clears the miss-run memory (start of a new episode).
-func (d *Detector) Reset() { d.prev = nil }
+func (d *Detector) Reset() { d.prev = d.prev[:0] }
 
-// Detect runs the detector on one camera frame and returns the reported
-// detections.
+// SetRNG replaces the detector's noise stream (episode-scratch reuse:
+// each episode injects its own deterministic stream).
+func (d *Detector) SetRNG(rng *stats.RNG) { d.rng = rng }
+
+// Detect runs the detector on one camera frame and returns the
+// reported detections. The returned slice is reused by the next Detect
+// call.
 func (d *Detector) Detect(img *sensor.Image) []Detection {
 	comps := d.components(img)
-	out := make([]Detection, 0, len(comps))
+	out := d.out[:0]
 	for i := range d.prev {
 		d.prev[i].seen = false
 	}
-	next := make([]detTrack, 0, len(comps))
+	next := d.next[:0]
 
 	for _, c := range comps {
 		cls := d.classify(c.box)
@@ -221,7 +231,7 @@ func (d *Detector) Detect(img *sensor.Image) []Detection {
 			Class: cls, Area: c.area, Score: score,
 		})
 	}
-	d.prev = next
+	d.prev, d.next, d.out = next, d.prev[:0], out
 	return out
 }
 
@@ -370,57 +380,68 @@ func (d *Detector) components(img *sensor.Image) []component {
 	}
 	d.gen++
 	gen := d.gen
-	var comps []component
+	comps := d.comps[:0]
 	th := d.cfg.Threshold
 
-	for start := 0; start < n; start++ {
-		if d.visited[start] == gen || img.Pix[start] < th {
-			continue
-		}
-		// BFS flood fill from start.
-		minX, minY := start%img.W, start/img.W
-		maxX, maxY := minX, minY
-		area := 0
-		d.queue = d.queue[:0]
-		d.queue = append(d.queue, int32(start))
-		d.visited[start] = gen
-		for len(d.queue) > 0 {
-			p := int(d.queue[len(d.queue)-1])
-			d.queue = d.queue[:len(d.queue)-1]
-			x, y := p%img.W, p/img.W
-			area++
-			if x < minX {
-				minX = x
+	// Scan only the window that can hold foreground: silhouettes cover
+	// a tiny fraction of the raster, and the full-raster scan used to
+	// dominate the whole frame loop's CPU time. The window walk is
+	// row-major like the historical full scan, so components are
+	// discovered — and reported — in the identical order.
+	wx0, wy0, wx1, wy1 := img.ForegroundWindow(th)
+	for wy := wy0; wy < wy1; wy++ {
+		rowOff := wy * img.W
+		for wx := wx0; wx < wx1; wx++ {
+			start := rowOff + wx
+			if d.visited[start] == gen || img.Pix[start] < th {
+				continue
 			}
-			if x > maxX {
-				maxX = x
-			}
-			if y < minY {
-				minY = y
-			}
-			if y > maxY {
-				maxY = y
-			}
-			for _, q := range [4]int{p - 1, p + 1, p - img.W, p + img.W} {
-				if q < 0 || q >= n || d.visited[q] == gen {
-					continue
+			// BFS flood fill from start.
+			minX, minY := start%img.W, start/img.W
+			maxX, maxY := minX, minY
+			area := 0
+			d.queue = d.queue[:0]
+			d.queue = append(d.queue, int32(start))
+			d.visited[start] = gen
+			for len(d.queue) > 0 {
+				p := int(d.queue[len(d.queue)-1])
+				d.queue = d.queue[:len(d.queue)-1]
+				x, y := p%img.W, p/img.W
+				area++
+				if x < minX {
+					minX = x
 				}
-				// Horizontal neighbors must stay on the same row.
-				if (q == p-1 || q == p+1) && q/img.W != y {
-					continue
+				if x > maxX {
+					maxX = x
 				}
-				if img.Pix[q] >= th {
-					d.visited[q] = gen
-					d.queue = append(d.queue, int32(q))
+				if y < minY {
+					minY = y
+				}
+				if y > maxY {
+					maxY = y
+				}
+				for _, q := range [4]int{p - 1, p + 1, p - img.W, p + img.W} {
+					if q < 0 || q >= n || d.visited[q] == gen {
+						continue
+					}
+					// Horizontal neighbors must stay on the same row.
+					if (q == p-1 || q == p+1) && q/img.W != y {
+						continue
+					}
+					if img.Pix[q] >= th {
+						d.visited[q] = gen
+						d.queue = append(d.queue, int32(q))
+					}
 				}
 			}
-		}
-		if area >= d.cfg.MinArea {
-			comps = append(comps, component{
-				box:  geom.R(float64(minX), float64(minY), float64(maxX-minX+1), float64(maxY-minY+1)),
-				area: area,
-			})
+			if area >= d.cfg.MinArea {
+				comps = append(comps, component{
+					box:  geom.R(float64(minX), float64(minY), float64(maxX-minX+1), float64(maxY-minY+1)),
+					area: area,
+				})
+			}
 		}
 	}
+	d.comps = comps
 	return comps
 }

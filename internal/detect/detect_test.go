@@ -196,8 +196,13 @@ func TestResetClearsMissState(t *testing.T) {
 		t.Fatalf("first frame should start a miss run, got %d detections", len(got))
 	}
 	det.Reset()
-	if det.prev != nil {
+	if len(det.prev) != 0 {
 		t.Error("Reset did not clear state")
+	}
+	// A post-Reset frame must behave like a first frame: the always-miss
+	// config starts a fresh run instead of continuing the old one.
+	if got := det.Detect(img); len(got) != 0 {
+		t.Fatalf("post-Reset frame should start a fresh miss run, got %d detections", len(got))
 	}
 }
 

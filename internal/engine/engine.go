@@ -61,10 +61,11 @@ func SplitMixSeeds(baseSeed int64, index int) int64 {
 
 // Engine runs batches of jobs on a fixed-size worker pool.
 type Engine struct {
-	workers  int
-	ctx      context.Context
-	progress func(done, total int)
-	seedFn   SeedFunc
+	workers     int
+	ctx         context.Context
+	progress    func(done, total int)
+	seedFn      SeedFunc
+	workerState func() any
 }
 
 // Option configures an Engine.
@@ -100,6 +101,39 @@ func WithSeedDerivation(fn SeedFunc) Option {
 			e.seedFn = fn
 		}
 	}
+}
+
+// WithWorkerState registers a factory producing one state value per
+// worker goroutine per batch. Jobs retrieve their worker's state with
+// WorkerState(ctx). Because a worker runs its jobs sequentially, the
+// state needs no locking — it is the hook for per-worker scratch
+// (pooled pipelines, cloned oracles) that episodes reuse instead of
+// reallocating. The factory is invoked lazily, on a worker's first
+// job; state must never leak between workers, and jobs must leave it
+// reset for the next job.
+func WithWorkerState(fn func() any) Option {
+	return func(e *Engine) { e.workerState = fn }
+}
+
+// workerStateKey carries the per-worker state in the job context.
+type workerStateKey struct{}
+
+// WorkerState returns the value the engine's WithWorkerState factory
+// produced for the executing worker, or nil when the engine has no
+// factory (or ctx is not an engine job context).
+func WorkerState(ctx context.Context) any {
+	return ctx.Value(workerStateKey{})
+}
+
+// With derives a new Engine from e with the given options applied —
+// the base engine is unchanged, so harnesses can attach batch-specific
+// wiring (typically WithWorkerState) to a caller-provided engine.
+func (e *Engine) With(opts ...Option) *Engine {
+	out := *e
+	for _, opt := range opts {
+		opt(&out)
+	}
+	return &out
 }
 
 // DefaultWorkers is the default pool size: one worker per available
@@ -170,9 +204,13 @@ func (e *Engine) Stream(baseSeed int64, jobs []Job) <-chan Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			jobCtx := e.ctx
 			for i := range idx {
+				if e.workerState != nil && jobCtx == e.ctx {
+					jobCtx = context.WithValue(e.ctx, workerStateKey{}, e.workerState())
+				}
 				seed := e.seedFn(baseSeed, i)
-				v, err := jobs[i](e.ctx, seed)
+				v, err := jobs[i](jobCtx, seed)
 				if e.progress != nil {
 					mu.Lock()
 					done++

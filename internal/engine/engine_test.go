@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -257,5 +258,78 @@ func TestStreamOrderedFlushesAfterCancellationGap(t *testing.T) {
 	}
 	if got == 0 || got >= 30 {
 		t.Errorf("delivered %d results, want a canceled partial batch", got)
+	}
+}
+
+// TestWorkerStateOnePerWorker verifies WithWorkerState creates one
+// state per worker goroutine, hands it to every job that worker runs,
+// and never shares it across workers.
+func TestWorkerStateOnePerWorker(t *testing.T) {
+	type state struct{ id int64 }
+	var created atomic.Int64
+	eng := New(WithWorkers(3), WithWorkerState(func() any {
+		return &state{id: created.Add(1)}
+	}))
+	const jobs = 24
+	var mu sync.Mutex
+	jobStates := make([]*state, 0, jobs)
+	js := make([]Job, jobs)
+	for i := range js {
+		js[i] = func(ctx context.Context, _ int64) (any, error) {
+			s, ok := WorkerState(ctx).(*state)
+			if !ok || s == nil {
+				return nil, errors.New("job saw no worker state")
+			}
+			mu.Lock()
+			jobStates = append(jobStates, s)
+			mu.Unlock()
+			time.Sleep(time.Millisecond) // let several workers engage
+			return nil, nil
+		}
+	}
+	if _, err := eng.RunAll(0, js); err != nil {
+		t.Fatal(err)
+	}
+	if n := created.Load(); n < 1 || n > 3 {
+		t.Errorf("created %d worker states, want between 1 and the pool size 3", n)
+	}
+	distinct := map[*state]bool{}
+	for _, s := range jobStates {
+		distinct[s] = true
+	}
+	if len(distinct) != int(created.Load()) {
+		t.Errorf("jobs saw %d distinct states but %d were created", len(distinct), created.Load())
+	}
+}
+
+// TestWorkerStateAbsent verifies WorkerState returns nil without a
+// factory and With does not mutate the base engine.
+func TestWorkerStateAbsent(t *testing.T) {
+	base := New(WithWorkers(2))
+	job := func(ctx context.Context, _ int64) (any, error) {
+		return WorkerState(ctx), nil
+	}
+	rs, err := base.RunAll(0, []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Value != nil {
+		t.Errorf("WorkerState without a factory = %v, want nil", rs[0].Value)
+	}
+
+	derived := base.With(WithWorkerState(func() any { return 42 }))
+	rs, err = derived.RunAll(0, []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Value != 42 {
+		t.Errorf("derived engine job state = %v, want 42", rs[0].Value)
+	}
+	rs, err = base.RunAll(0, []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Value != nil {
+		t.Errorf("With mutated the base engine: state = %v, want nil", rs[0].Value)
 	}
 }

@@ -181,6 +181,10 @@ type recordedRun struct {
 // Every per-run failure is collected (errors.Join), not just the
 // first; a canceled batch additionally joins the context error.
 func execute(eng *engine.Engine, rr recordedRun) (results.CampaignRecord, error) {
+	// Every worker gets one episode Scratch for the whole batch:
+	// pipelines, frame buffers and oracle clones are reused across the
+	// episodes that worker runs.
+	eng = withEpisodeScratch(eng)
 	rec := results.NewCampaign(rr.name, rr.scenarioLabel, rr.mode, rr.expectCrashes, rr.baseSeed)
 
 	resumed := make(map[int]results.EpisodeRecord)
@@ -296,9 +300,10 @@ func RunCampaignOn(eng *engine.Engine, c Campaign, runs int, baseSeed int64, ora
 						Mode:               c.Mode,
 						PreferDisappearFor: c.PreferDisappearFor,
 						// Episodes run concurrently; trained oracles keep
-						// per-call scratch, so each episode gets its own
-						// copy.
-						Oracles: core.CloneOracles(oracles),
+						// per-call inference scratch, so each worker's
+						// Scratch clones them once and reuses the clones
+						// for every episode it runs.
+						Oracles: oracles,
 					},
 				})
 			}

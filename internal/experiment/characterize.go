@@ -156,6 +156,7 @@ func characterizeSegment(ctx context.Context, frames int, seed int64) (character
 		spawn()
 	}
 
+	var capture sensor.CaptureBuffer
 	for f := 0; f < frames; f++ {
 		if f%64 == 0 && ctx.Err() != nil {
 			return pools, ctx.Err()
@@ -175,7 +176,7 @@ func characterizeSegment(ctx context.Context, frames int, seed int64) (character
 			spawn()
 		}
 
-		frameData := cam.Capture(w, f)
+		frameData := cam.CaptureInto(&capture, w, f)
 		dets := det.Detect(frameData.Image)
 
 		for _, truth := range frameData.Truth {

@@ -11,10 +11,8 @@ import (
 	"math"
 
 	"github.com/robotack/robotack/internal/core"
-	"github.com/robotack/robotack/internal/perception"
 	"github.com/robotack/robotack/internal/planner"
 	"github.com/robotack/robotack/internal/scenario"
-	"github.com/robotack/robotack/internal/sensor"
 	"github.com/robotack/robotack/internal/sim"
 	"github.com/robotack/robotack/internal/stats"
 )
@@ -115,18 +113,21 @@ func Run(cfg RunConfig) (RunResult, error) {
 
 // RunCtx executes one closed-loop episode under a cancellation
 // context: a canceled ctx aborts the frame loop promptly and returns
-// ctx.Err(). The episode itself is deterministic in cfg.Seed.
+// ctx.Err(). The episode itself is deterministic in cfg.Seed: when ctx
+// is an engine job context the episode reuses the worker's Scratch,
+// and the pooled execution is bit-identical to a from-scratch run.
 func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
+	s := scratchFrom(ctx)
 	scn, err := cfg.source().Instantiate(stats.NewRNG(cfg.Seed))
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiment: %w", err)
 	}
 	w := scn.World
-	cam := sensor.DefaultCamera()
+	cam := s.cam
 	adsRNG := stats.NewRNG(cfg.Seed*7919 + 13)
-	ads := perception.NewDefault(cam, adsRNG)
-	lidar := sensor.NewLidar(adsRNG.Split())
-	pl := planner.New(planner.DefaultConfig(scn.CruiseSpeed))
+	ads := s.pipeline(adsRNG)
+	lidar := s.lidarFor(adsRNG.Split())
+	pl := s.plannerFor(planner.DefaultConfig(scn.CruiseSpeed))
 	safety := planner.DefaultSafetyConfig()
 
 	var malware *core.Malware
@@ -138,7 +139,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		if fp := cfg.Attack.Forced; fp != nil {
 			mcfg.Forced = &core.ForcedPlan{DeltaInject: fp.DeltaInject, K: fp.K}
 		}
-		malware = core.New(mcfg, cam, cfg.Attack.Oracles, stats.NewRNG(cfg.Seed*31337+7))
+		malware = s.malwareFor(mcfg, cfg.Attack.Oracles, stats.NewRNG(cfg.Seed*31337+7))
 	}
 
 	res := RunResult{MinDelta: safety.MaxDSafe}
@@ -147,7 +148,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		if i%16 == 0 && ctx.Err() != nil {
 			return res, ctx.Err()
 		}
-		frame := cam.Capture(w, i)
+		frame := cam.CaptureInto(&s.capture, w, i)
 		if malware != nil {
 			malware.SetEVSpeed(w.EV.Speed)
 			malware.Process(frame.Image, i)

@@ -103,7 +103,7 @@ func GenerateOracleDataOn(eng *engine.Engine, spec OracleSpec, baseSeed int64) (
 		}
 	}
 
-	runs, err := engine.Map(eng, baseSeed+1, grid,
+	runs, err := engine.Map(withEpisodeScratch(eng), baseSeed+1, grid,
 		func(ctx context.Context, seed int64, fr forcedRun) (RunResult, error) {
 			return RunCtx(ctx, RunConfig{
 				Scenario: fr.sweep.Scenario,

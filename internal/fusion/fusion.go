@@ -173,6 +173,8 @@ type Object struct {
 	// lidarStreak counts consecutive LiDAR-alone confirmations toward
 	// the LidarTrustFrames promotion.
 	lidarStreak int
+	// drop marks the object for removal within one merge pass.
+	drop bool
 }
 
 // lidarOwnsRangeFrames is how long a LiDAR range fix outranks camera
@@ -182,12 +184,19 @@ const lidarOwnsRangeFrames = 8
 // Confident reports whether the object clears the planner threshold.
 func (o *Object) Confident(cfg Config) bool { return o.Confidence >= cfg.Confident }
 
-// Fusion is the sensor-fusion stage.
+// Fusion is the sensor-fusion stage. Its per-frame working storage —
+// back-projected camera observations, the returned snapshot and
+// reaped Object structs — is struct-owned and reused across frames,
+// so a warm Step performs no heap allocations.
 type Fusion struct {
 	cfg     Config
 	cam     *sensor.Camera
 	objects []*Object
 	nextID  int
+
+	obs  []camObs  // per-frame back-projection scratch
+	out  []Object  // per-frame snapshot scratch
+	free []*Object // recycled objects
 }
 
 // New creates a fusion stage using the camera geometry for
@@ -199,9 +208,10 @@ func New(cfg Config, cam *sensor.Camera) *Fusion {
 // Config returns the fusion configuration.
 func (f *Fusion) Config() Config { return f.cfg }
 
-// Reset drops all fused objects.
+// Reset drops all fused objects, recycling them for the next episode.
 func (f *Fusion) Reset() {
-	f.objects = nil
+	f.free = append(f.free, f.objects...)
+	f.objects = f.objects[:0]
 	f.nextID = 1
 }
 
@@ -216,7 +226,8 @@ type camObs struct {
 
 // Step fuses the current camera tracks and LiDAR detections into the
 // world model and returns a snapshot of it. dt is the frame period in
-// seconds.
+// seconds. The returned slice is reused by the next Step call; callers
+// that retain a snapshot across frames must use Objects instead.
 func (f *Fusion) Step(tracks []*track.Track, lidar []sensor.Detection, dt float64) []Object {
 	// Decay first: confirmation this frame must fight the decay.
 	for _, o := range f.objects {
@@ -231,7 +242,7 @@ func (f *Fusion) Step(tracks []*track.Track, lidar []sensor.Detection, dt float6
 	}
 
 	// Back-project confirmed camera tracks to the ground plane.
-	obs := make([]camObs, 0, len(tracks))
+	obs := f.obs[:0]
 	for _, t := range tracks {
 		if !t.Confirmed {
 			continue
@@ -261,6 +272,7 @@ func (f *Fusion) Step(tracks []*track.Track, lidar []sensor.Detection, dt float6
 			coasting: t.Coasting(),
 		})
 	}
+	f.obs = obs
 
 	// Camera evidence: prefer the object already backed by the same
 	// image track — unless that binding has gone stale (the object has
@@ -375,14 +387,17 @@ func (f *Fusion) Step(tracks []*track.Track, lidar []sensor.Detection, dt float6
 		ghost := o.MissFrames > f.cfg.GhostMissFrames && o.lidarFresh == 0
 		if o.Confidence >= f.cfg.DropBelow && !ghost {
 			live = append(live, o)
+		} else {
+			f.free = append(f.free, o)
 		}
 	}
 	f.objects = live
 
-	out := make([]Object, len(f.objects))
-	for i, o := range f.objects {
-		out[i] = *o
+	out := f.out[:0]
+	for _, o := range f.objects {
+		out = append(out, *o)
 	}
+	f.out = out
 	return out
 }
 
@@ -449,15 +464,18 @@ func (f *Fusion) nearest(rel geom.Vec2, eligible func(*Object) bool) *Object {
 // higher-confidence) object survives and absorbs the twin's confidence.
 func (f *Fusion) mergeDuplicates() {
 	const latGate, longGate = 0.9, 2.2
-	dropped := map[*Object]bool{}
+	ndropped := 0
+	for _, o := range f.objects {
+		o.drop = false
+	}
 	for i := 0; i < len(f.objects); i++ {
 		a := f.objects[i]
-		if dropped[a] {
+		if a.drop {
 			continue
 		}
 		for j := i + 1; j < len(f.objects); j++ {
 			b := f.objects[j]
-			if dropped[b] || a.Class != b.Class {
+			if b.drop || a.Class != b.Class {
 				continue
 			}
 			dx, dy := a.Rel.X-b.Rel.X, a.Rel.Y-b.Rel.Y
@@ -479,26 +497,36 @@ func (f *Fusion) mergeDuplicates() {
 				keep.MissFrames = 0
 			}
 			keep.LidarSeen = keep.LidarSeen || drop.LidarSeen
-			dropped[drop] = true
+			drop.drop = true
+			ndropped++
 			if drop == a {
 				break // a is gone; move to the next outer object
 			}
 		}
 	}
-	if len(dropped) == 0 {
+	if ndropped == 0 {
 		return
 	}
 	live := f.objects[:0]
 	for _, o := range f.objects {
-		if !dropped[o] {
+		if !o.drop {
 			live = append(live, o)
+		} else {
+			f.free = append(f.free, o)
 		}
 	}
 	f.objects = live
 }
 
 func (f *Fusion) newObject(cls sim.Class, rel geom.Vec2) *Object {
-	o := &Object{ID: f.nextID, Class: cls, Rel: rel, Size: sizeFor(cls, 0)}
+	var o *Object
+	if n := len(f.free); n > 0 {
+		o = f.free[n-1]
+		f.free = f.free[:n-1]
+	} else {
+		o = &Object{}
+	}
+	*o = Object{ID: f.nextID, Class: cls, Rel: rel, Size: sizeFor(cls, 0)}
 	f.nextID++
 	f.objects = append(f.objects, o)
 	return o

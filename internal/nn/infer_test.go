@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// TestInferMatchesForward is the golden equivalence test for the
+// pooled inference path: for random networks across layer shapes,
+// Infer must produce bit-identical outputs to Forward(x, false).
+func TestInferMatchesForward(t *testing.T) {
+	shapes := [][]int{
+		{1, 1},
+		{3, 8, 1},
+		{6, 100, 100, 50, 1}, // the paper's regressor
+		{10, 7, 13, 4},
+		{2, 64, 2},
+	}
+	rng := stats.NewRNG(42)
+	for _, dims := range shapes {
+		var n Network
+		for i := 0; i+1 < len(dims); i++ {
+			n.Layers = append(n.Layers, NewDense(dims[i], dims[i+1], rng))
+			if i+2 < len(dims) {
+				n.Layers = append(n.Layers, &ReLU{}, NewDropout(0.1, rng))
+			}
+		}
+		s := n.NewInferScratch()
+		for trial := 0; trial < 25; trial++ {
+			x := make([]float64, dims[0])
+			for i := range x {
+				x[i] = rng.Normal(0, 2)
+			}
+			want := n.Forward(x, false)
+			got := n.Infer(s, x)
+			if len(got) != len(want) {
+				t.Fatalf("shape %v: Infer returned %d outputs, Forward %d", dims, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shape %v trial %d: Infer[%d] = %v, Forward = %v (must be bit-identical)",
+						dims, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInferDoesNotClobberInput verifies the caller's input vector
+// survives an Infer call (the first layer writes into scratch, never
+// into x).
+func TestInferDoesNotClobberInput(t *testing.T) {
+	rng := stats.NewRNG(7)
+	n := NewRegressor(6, rng)
+	s := n.NewInferScratch()
+	x := []float64{1, -2, 3, -4, 5, -6}
+	orig := append([]float64(nil), x...)
+	n.Infer(s, x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("Infer mutated input[%d]: %v -> %v", i, orig[i], x[i])
+		}
+	}
+}
+
+// TestInferZeroAllocs enforces the inference path's allocation
+// contract: a warm Infer call performs zero heap allocations. CI
+// fails on any regression here.
+func TestInferZeroAllocs(t *testing.T) {
+	rng := stats.NewRNG(3)
+	n := NewRegressor(6, rng)
+	s := n.NewInferScratch()
+	x := []float64{12, -1.5, 0.2, 0.4, -0.1, 2}
+	n.Infer(s, x) // warm-up
+	allocs := testing.AllocsPerRun(200, func() {
+		n.Infer(s, x)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Infer allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestInferAfterClone verifies a cloned network's inference path
+// agrees with the original's training-mode-off forward pass.
+func TestInferAfterClone(t *testing.T) {
+	rng := stats.NewRNG(99)
+	n := NewRegressor(6, rng)
+	clone := n.Clone()
+	s := clone.NewInferScratch()
+	x := []float64{30, -4, 0.5, 0.1, 0, 1.2}
+	if got, want := clone.Infer(s, x)[0], n.Forward(x, false)[0]; got != want {
+		t.Fatalf("clone Infer = %v, original Forward = %v", got, want)
+	}
+}
+
+func BenchmarkInfer(b *testing.B) {
+	rng := stats.NewRNG(5)
+	n := NewRegressor(6, rng)
+	s := n.NewInferScratch()
+	x := []float64{12, -1.5, 0.2, 0.4, -0.1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Infer(s, x)
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	rng := stats.NewRNG(5)
+	n := NewRegressor(6, rng)
+	x := []float64{12, -1.5, 0.2, 0.4, -0.1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(x, false)
+	}
+}

@@ -251,6 +251,145 @@ func (n *Network) Forward(x []float64, train bool) []float64 {
 	return x
 }
 
+// InferenceLayer is a layer with an allocation-free inference path.
+// ForwardInto computes the layer's inference output (train=false
+// semantics: dropout is the identity) into dst and returns dst
+// re-sliced to the output length. dst must not alias x, and its
+// capacity must cover the layer's output width. The arithmetic is the
+// same sequence of float64 operations as Forward(x, false), so the
+// two paths produce bit-identical outputs.
+type InferenceLayer interface {
+	ForwardInto(dst, x []float64) []float64
+}
+
+var (
+	_ InferenceLayer = (*Dense)(nil)
+	_ InferenceLayer = (*ReLU)(nil)
+	_ InferenceLayer = (*Dropout)(nil)
+)
+
+// ForwardInto implements InferenceLayer.
+func (d *Dense) ForwardInto(dst, x []float64) []float64 {
+	out := dst[:d.Out]
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// ForwardInto implements InferenceLayer.
+func (r *ReLU) ForwardInto(dst, x []float64) []float64 {
+	out := dst[:len(x)]
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// ForwardInto implements InferenceLayer. Inference-mode dropout is the
+// identity.
+func (d *Dropout) ForwardInto(dst, x []float64) []float64 {
+	out := dst[:len(x)]
+	copy(out, x)
+	return out
+}
+
+// InferScratch holds the ping-pong activation buffers for Infer, plus
+// the cached structural facts of the network it was sized for (widest
+// activation, whether every layer has an inference path) so the
+// per-prediction call does no type-assertion rescans. One scratch
+// serves one goroutine; concurrent episodes each own one.
+type InferScratch struct {
+	a, b []float64
+
+	layers   int // len(Layers) the cache below was computed for
+	width    int
+	allInfer bool
+}
+
+// sizeFor (re)computes the cached structure for n. It re-runs only
+// when the layer count changes — layer stacks in this codebase are
+// fixed after construction.
+func (s *InferScratch) sizeFor(n *Network) {
+	if s.layers == len(n.Layers) && s.layers > 0 {
+		return
+	}
+	s.layers = len(n.Layers)
+	s.width = n.maxWidth()
+	s.allInfer = true
+	for _, l := range n.Layers {
+		if _, ok := l.(InferenceLayer); !ok {
+			s.allInfer = false
+			break
+		}
+	}
+	if len(s.a) < s.width {
+		s.a = make([]float64, s.width)
+		s.b = make([]float64, s.width)
+	}
+}
+
+// maxWidth returns the widest activation the network produces.
+func (n *Network) maxWidth() int {
+	w := 1
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dense); ok {
+			if d.In > w {
+				w = d.In
+			}
+			if d.Out > w {
+				w = d.Out
+			}
+		}
+	}
+	return w
+}
+
+// NewInferScratch allocates scratch buffers sized for this network's
+// widest layer. The scratch may be reused across calls; Infer re-sizes
+// it if handed a network with a different layer count.
+func (n *Network) NewInferScratch() *InferScratch {
+	s := &InferScratch{}
+	s.sizeFor(n)
+	return s
+}
+
+// Infer runs the network in inference mode writing every activation
+// into s's ping-pong buffers: zero heap allocations after the scratch
+// is warm. The returned slice aliases the scratch and is valid until
+// the next Infer call. Outputs are bit-identical to Forward(x, false).
+// A stack containing a layer without an inference path falls back to
+// Forward (allocating, still correct).
+func (n *Network) Infer(s *InferScratch, x []float64) []float64 {
+	if s == nil {
+		return n.Forward(x, false)
+	}
+	s.sizeFor(n)
+	if !s.allInfer {
+		return n.Forward(x, false)
+	}
+	cur := x
+	useA := true
+	for _, l := range n.Layers {
+		dst := s.a
+		if !useA {
+			dst = s.b
+		}
+		cur = l.(InferenceLayer).ForwardInto(dst, cur)
+		useA = !useA
+	}
+	return cur
+}
+
 // Predict runs the network in inference mode and returns the scalar
 // output.
 func (n *Network) Predict(x []float64) float64 {

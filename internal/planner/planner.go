@@ -143,6 +143,11 @@ type Planner struct {
 	// displacement of the estimate away from it reveals a crossing even
 	// while the differentiated velocity estimate still lags.
 	yRef map[int]float64
+
+	// Per-frame scratch, reused across Plan calls so the warm planner
+	// does not allocate.
+	seen map[int]bool
+	tgt  Target
 }
 
 // New creates a planner.
@@ -152,6 +157,7 @@ func New(cfg Config) *Planner {
 		pid:         NewPID(),
 		entryStreak: make(map[int]int),
 		yRef:        make(map[int]float64),
+		seen:        make(map[int]bool),
 	}
 }
 
@@ -163,11 +169,19 @@ func (p *Planner) Reset() {
 	p.pid.Reset()
 	p.ebLatch = 0
 	p.ebPending = 0
-	p.entryStreak = make(map[int]int)
+	clear(p.entryStreak)
 	p.cautionHold = 0
 	p.crossingHold = 0
 	p.lostTargetFor = 0
-	p.yRef = make(map[int]float64)
+	clear(p.yRef)
+}
+
+// Reconfigure swaps the planner's configuration and resets all
+// controller state — episode-scratch reuse across scenarios whose
+// cruise speed differs.
+func (p *Planner) Reconfigure(cfg Config) {
+	p.cfg = cfg
+	p.Reset()
 }
 
 // selectTarget picks the nearest confident in-path object, requiring
@@ -176,7 +190,8 @@ func (p *Planner) Reset() {
 // velocity must not brake the EV.
 func (p *Planner) selectTarget(objs []fusion.Object, fcfg fusion.Config, ev sim.EV, road sim.Road) (float64, *Target) {
 	cfg := p.cfg
-	seen := make(map[int]bool, len(objs))
+	clear(p.seen)
+	seen := p.seen
 	best := cfg.Safety.MaxDSafe
 	var target *Target
 	for i := range objs {
@@ -222,7 +237,8 @@ func (p *Planner) selectTarget(objs []fusion.Object, fcfg fusion.Config, ev sim.
 		gap = math.Max(gap, 0)
 		if gap < best {
 			best = gap
-			target = &Target{Object: o, Gap: gap, Closing: -o.Vel.X}
+			p.tgt = Target{Object: o, Gap: gap, Closing: -o.Vel.X}
+			target = &p.tgt
 		}
 	}
 	for id := range p.entryStreak {

@@ -40,11 +40,14 @@ type Queue struct {
 	leaseTTL      time.Duration
 	logf          func(format string, args ...any)
 
+	compactThreshold int64
+
 	mu      sync.Mutex
 	jobs    map[int]*Job
 	pending []int // queued job ids, FIFO; requeues go to the front
 	nextID  int
 	journal *os.File
+	lockf   *os.File // held for the queue's lifetime (dir exclusivity)
 	subs    map[int]map[chan Event]bool
 	cancels map[int]context.CancelFunc // local in-flight jobs
 	running int                        // local in-flight count
@@ -81,6 +84,19 @@ func WithLeaseTTL(d time.Duration) Option {
 	}
 }
 
+// DefaultCompactionThreshold is the journal size (bytes) above which
+// Open rewrites queue.jsonl to its last-wins state. Long-lived queues
+// append one snapshot line per state transition, so the journal grows
+// without bound while the live state stays small; startup compaction
+// caps replay time and disk use.
+const DefaultCompactionThreshold = 1 << 20
+
+// WithCompactionThreshold overrides the startup-compaction trigger
+// size in bytes. Zero or negative disables compaction.
+func WithCompactionThreshold(n int64) Option {
+	return func(q *Queue) { q.compactThreshold = n }
+}
+
 // WithLog sets a logger for background failures (journal write errors,
 // lease expirations) that have no caller to return to.
 func WithLog(logf func(format string, args ...any)) Option {
@@ -99,23 +115,33 @@ func WithLog(logf func(format string, args ...any)) Option {
 // process).
 func Open(dir string, opts ...Option) (*Queue, error) {
 	q := &Queue{
-		maxConcurrent: 1,
-		leaseTTL:      30 * time.Second,
-		logf:          func(string, ...any) {},
-		jobs:          make(map[int]*Job),
-		subs:          make(map[int]map[chan Event]bool),
-		cancels:       make(map[int]context.CancelFunc),
+		maxConcurrent:    1,
+		leaseTTL:         30 * time.Second,
+		compactThreshold: DefaultCompactionThreshold,
+		logf:             func(string, ...any) {},
+		jobs:             make(map[int]*Job),
+		subs:             make(map[int]map[chan Event]bool),
+		cancels:          make(map[int]context.CancelFunc),
 	}
 	for _, opt := range opts {
 		opt(q)
 	}
 	if dir != "" {
-		f, jobs, err := openJournal(dir)
+		f, lock, jobs, err := openJournal(dir)
 		if err != nil {
 			return nil, err
 		}
 		q.journal = f
+		q.lockf = lock
 		q.jobs = jobs
+	}
+	closeAll := func() {
+		if q.journal != nil {
+			q.journal.Close()
+		}
+		if q.lockf != nil {
+			q.lockf.Close()
+		}
 	}
 	for id, j := range q.jobs {
 		if id > q.nextID {
@@ -128,9 +154,23 @@ func Open(dir string, opts ...Option) (*Queue, error) {
 			j.Worker = ""
 			j.lease = time.Time{}
 			if err := appendJob(q.journal, j); err != nil {
-				q.journal.Close()
+				closeAll()
 				return nil, err
 			}
+		}
+	}
+	// Startup compaction: a long-lived journal holds one line per
+	// state transition ever made; above the threshold, rewrite it to
+	// one last-wins line per job. Replay of the compacted journal is
+	// equivalent by construction — it IS the replayed state.
+	if q.journal != nil && q.compactThreshold > 0 {
+		if st, err := q.journal.Stat(); err == nil && st.Size() > q.compactThreshold {
+			nf, err := compactJournal(dir, q.journal, q.jobs)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			q.journal = nf
 		}
 	}
 	ids := make([]int, 0, len(q.jobs))
@@ -598,6 +638,10 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 			waitErr = err
 		}
 	}
+	if q.lockf != nil {
+		q.lockf.Close()
+		q.lockf = nil
+	}
 	return waitErr
 }
 
@@ -608,10 +652,14 @@ func (q *Queue) Close() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
+	var err error
 	if q.journal != nil {
-		err := q.journal.Close()
+		err = q.journal.Close()
 		q.journal = nil
-		return err
 	}
-	return nil
+	if q.lockf != nil {
+		q.lockf.Close()
+		q.lockf = nil
+	}
+	return err
 }

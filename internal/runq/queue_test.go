@@ -1,11 +1,14 @@
 package runq_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -550,4 +553,90 @@ func TestQueueDirLocked(t *testing.T) {
 		t.Fatalf("lock not released on close: %v", err)
 	}
 	q2.Close()
+}
+
+// TestJournalCompactionReplayEquivalent: startup compaction must
+// rewrite queue.jsonl to one last-wins line per job whose replay is
+// indistinguishable from replaying the full transition history.
+func TestJournalCompactionReplayEquivalent(t *testing.T) {
+	dir := t.TempDir()
+	q0, err := runq.Open(dir, runq.WithCompactionThreshold(0)) // build history, no compaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A transition-heavy history: submissions, a cancellation, and a
+	// completed local run — several journal lines per job.
+	for i := 0; i < 6; i++ {
+		if _, err := q0.Submit(req(fmt.Sprintf("compact-%d", i), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q0.Cancel(2); err != nil {
+		t.Fatal(err)
+	}
+	q0.Start(&stubExec{step: time.Millisecond})
+	waitTerminal(t, q0, 1, 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := q0.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	path := filepath.Join(dir, "queue.jsonl")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := len(bytes.Split(bytes.TrimSpace(before), []byte("\n")))
+
+	// Replay WITHOUT compaction: the reference state. (Shutdown
+	// requeued the jobs that were still queued/running, so a plain
+	// replay is already deterministic.)
+	qRef, err := runq.Open(dir, runq.WithCompactionThreshold(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJobs := qRef.Jobs()
+	if err := qRef.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay WITH a tiny threshold: compacts on open.
+	qC, err := runq.Open(dir, runq.WithCompactionThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compactJobs := qC.Jobs()
+	if err := qC.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refJobs, compactJobs) {
+		t.Errorf("compaction changed the replayed state:\nref:     %+v\ncompact: %+v", refJobs, compactJobs)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLines := len(bytes.Split(bytes.TrimSpace(after), []byte("\n")))
+	if gotLines != len(refJobs) {
+		t.Errorf("compacted journal has %d lines, want one per job (%d)", gotLines, len(refJobs))
+	}
+	if gotLines >= wantLines {
+		t.Errorf("compaction did not shrink the journal: %d -> %d lines", wantLines, gotLines)
+	}
+
+	// The compacted journal replays identically again (idempotence),
+	// and appending to it works.
+	qAgain, err := runq.Open(dir, runq.WithCompactionThreshold(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qAgain.Close()
+	if got := qAgain.Jobs(); !reflect.DeepEqual(got, refJobs) {
+		t.Errorf("replay after compaction differs:\nref: %+v\ngot: %+v", refJobs, got)
+	}
+	if _, err := qAgain.Submit(req("post-compact", 1)); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -29,6 +29,11 @@ type Worker struct {
 	Name string
 	// Workers is the per-job engine pool size (<=0: one per CPU).
 	Workers int
+	// Batch is how many completed episodes to buffer before posting
+	// them to the server in one request (<=0: DefaultEpisodeBatch).
+	// Larger batches cut HTTP round-trips on fast jobs; smaller ones
+	// tighten the at-most-one-unflushed-batch crash window.
+	Batch int
 	// Oracles are trained safety-hijacker oracles for smart-mode jobs
 	// (nil: the analytic oracle).
 	Oracles map[core.Vector]core.Oracle
@@ -105,13 +110,22 @@ func (w *Worker) RunOne(ctx context.Context) (ran bool, err error) {
 	return true, nil
 }
 
-// episodeBatch is how many completed episodes the worker buffers
-// before posting them in one request: a paper-scale job is thousands
-// of episodes, and one synchronous round-trip each would serialize the
-// engine fold behind the network. A worker crash loses at most one
-// unflushed batch — the requeued attempt simply re-runs those
-// episodes.
-const episodeBatch = 16
+// DefaultEpisodeBatch is how many completed episodes the worker
+// buffers before posting them in one request: a paper-scale job is
+// thousands of episodes, and one synchronous round-trip each would
+// serialize the engine fold behind the network. A worker crash loses
+// at most one unflushed batch — the requeued attempt simply re-runs
+// those episodes. Override per worker with Worker.Batch
+// (robotack-worker -batch).
+const DefaultEpisodeBatch = 16
+
+// batch returns the effective episode batch size.
+func (w *Worker) batch() int {
+	if w.Batch > 0 {
+		return w.Batch
+	}
+	return DefaultEpisodeBatch
+}
 
 // run is the per-lease state shared by the engine's progress callback,
 // the heartbeat loop and the episode sink.
@@ -134,7 +148,7 @@ type run struct {
 // reporting completion.
 func (r *run) Append(ep results.EpisodeRecord) error {
 	r.buf = append(r.buf, ep)
-	if len(r.buf) < episodeBatch {
+	if len(r.buf) < r.w.batch() {
 		return nil
 	}
 	return r.flush()

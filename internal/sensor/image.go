@@ -16,14 +16,63 @@ import (
 // renders into it and the detector and the trajectory hijacker read and
 // write it. 192x108 cells stand in for the paper's 1920x1080 camera
 // (DESIGN.md §5).
+//
+// The image tracks the dirty window of writes since the last Clear:
+// when the base intensity is known, every pixel outside the window
+// still holds it. Silhouettes cover a tiny fraction of the raster, so
+// the window lets Clear rewrite only what the previous frame painted
+// and lets the detector's connected-component scan skip the empty sky
+// and road — the two biggest CPU sinks of the frame loop. All writes
+// go through Set/Clear/FillRect/FillRectAA, which maintain the window.
 type Image struct {
 	W, H int
 	Pix  []float64
+
+	// base is the intensity every pixel outside the dirty window holds
+	// (valid while baseKnown); dx0..dy1 is the half-open dirty window.
+	base               float64
+	baseKnown          bool
+	dx0, dy0, dx1, dy1 int
 }
 
 // NewImage allocates a zeroed W x H image.
 func NewImage(w, h int) *Image {
-	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+	return &Image{W: w, H: h, Pix: make([]float64, w*h), baseKnown: true}
+}
+
+// markDirty grows the dirty window to include the clipped half-open
+// rectangle [x0,x1) x [y0,y1).
+func (im *Image) markDirty(x0, y0, x1, y1 int) {
+	if x1 <= x0 || y1 <= y0 {
+		return
+	}
+	if im.dx1 <= im.dx0 || im.dy1 <= im.dy0 { // empty window
+		im.dx0, im.dy0, im.dx1, im.dy1 = x0, y0, x1, y1
+		return
+	}
+	if x0 < im.dx0 {
+		im.dx0 = x0
+	}
+	if y0 < im.dy0 {
+		im.dy0 = y0
+	}
+	if x1 > im.dx1 {
+		im.dx1 = x1
+	}
+	if y1 > im.dy1 {
+		im.dy1 = y1
+	}
+}
+
+// ForegroundWindow returns a half-open window guaranteed to contain
+// every pixel with intensity >= th. It is the whole raster unless the
+// untouched-background intensity is known to be below th, in which
+// case it is the dirty window of writes since the last Clear.
+func (im *Image) ForegroundWindow(th float64) (x0, y0, x1, y1 int) {
+	if im.baseKnown && im.base < th {
+		return im.dx0, im.dy0, im.dx1, im.dy1
+	}
+	return 0, 0, im.W, im.H
 }
 
 // At returns the intensity at (x, y), or 0 outside the raster.
@@ -40,13 +89,27 @@ func (im *Image) Set(x, y int, v float64) {
 		return
 	}
 	im.Pix[y*im.W+x] = v
+	im.markDirty(x, y, x+1, y+1)
 }
 
-// Clear resets every pixel to v.
+// Clear resets every pixel to v. When v is the base the raster was
+// last cleared to, only the dirty window is rewritten.
 func (im *Image) Clear(v float64) {
-	for i := range im.Pix {
-		im.Pix[i] = v
+	if im.baseKnown && v == im.base {
+		for y := im.dy0; y < im.dy1; y++ {
+			row := y * im.W
+			for x := im.dx0; x < im.dx1; x++ {
+				im.Pix[row+x] = v
+			}
+		}
+	} else {
+		for i := range im.Pix {
+			im.Pix[i] = v
+		}
+		im.base = v
+		im.baseKnown = true
 	}
+	im.dx0, im.dy0, im.dx1, im.dy1 = 0, 0, 0, 0
 }
 
 // FillRect paints the axis-aligned pixel rectangle r with intensity v,
@@ -59,6 +122,7 @@ func (im *Image) FillRect(r geom.Rect, v float64) {
 			im.Pix[row+x] = v
 		}
 	}
+	im.markDirty(x0, y0, x1, y1)
 }
 
 // FillRectAA paints r with intensity v using box-filter anti-aliasing:
@@ -97,6 +161,7 @@ func (im *Image) FillRectAA(r geom.Rect, v float64) {
 			*p = (1-c)*(*p) + c*v
 		}
 	}
+	im.markDirty(x0, y0, x1, y1)
 }
 
 // overlap returns the length of the intersection of [a0,a1] and [b0,b1].
@@ -108,10 +173,12 @@ func overlap(a0, a1, b0, b1 float64) float64 {
 	return hi - lo
 }
 
-// Clone returns a deep copy of the image.
+// Clone returns a deep copy of the image, dirty window included.
 func (im *Image) Clone() *Image {
 	c := NewImage(im.W, im.H)
 	copy(c.Pix, im.Pix)
+	c.base, c.baseKnown = im.base, im.baseKnown
+	c.dx0, c.dy0, c.dx1, c.dy1 = im.dx0, im.dy0, im.dx1, im.dy1
 	return c
 }
 

@@ -25,6 +25,8 @@ type Lidar struct {
 	DropProb float64
 
 	rng *stats.RNG
+	out []Detection    // per-frame output scratch
+	rel []sim.RelState // per-frame ground-truth scratch
 }
 
 // NewLidar returns a LiDAR with the default registration model.
@@ -48,6 +50,9 @@ type Detection struct {
 	Size    sim.Size
 }
 
+// Reset re-seeds the LiDAR's noise stream (episode-scratch reuse).
+func (l *Lidar) Reset(rng *stats.RNG) { l.rng = rng }
+
 // rangeFor returns the registration range for a class.
 func (l *Lidar) rangeFor(c sim.Class) float64 {
 	if c == sim.ClassPedestrian {
@@ -58,10 +63,12 @@ func (l *Lidar) rangeFor(c sim.Class) float64 {
 
 // Scan returns the LiDAR detections for the current world state.
 // Objects behind the EV or beyond their class's registration range
-// produce no return.
+// produce no return. The returned slice is reused by the next Scan
+// call.
 func (l *Lidar) Scan(w *sim.World) []Detection {
-	out := make([]Detection, 0, len(w.Actors))
-	for _, r := range w.Relative() {
+	out := l.out[:0]
+	l.rel = w.RelativeInto(l.rel)
+	for _, r := range l.rel {
 		if r.Pos.X < 1 || r.Pos.X > l.rangeFor(r.Class) {
 			continue
 		}
@@ -74,5 +81,6 @@ func (l *Lidar) Scan(w *sim.World) []Detection {
 		}
 		out = append(out, Detection{TruthID: r.ID, Class: r.Class, RelPos: pos, Size: r.Size})
 	}
+	l.out = out
 	return out
 }

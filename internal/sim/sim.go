@@ -263,10 +263,18 @@ type RelState struct {
 
 // Relative returns the relative states of all actors (ground truth).
 func (w *World) Relative() []RelState {
-	out := make([]RelState, 0, len(w.Actors))
+	return w.RelativeInto(make([]RelState, 0, len(w.Actors)))
+}
+
+// RelativeInto appends the relative states of all actors into dst
+// (re-sliced to zero first) and returns it — the allocation-free
+// variant for per-frame callers (camera, LiDAR) that own a reusable
+// buffer.
+func (w *World) RelativeInto(dst []RelState) []RelState {
+	dst = dst[:0]
 	evVel := geom.V(w.EV.Speed, 0)
 	for _, a := range w.Actors {
-		out = append(out, RelState{
+		dst = append(dst, RelState{
 			ID:     a.ID,
 			Class:  a.Class,
 			Pos:    a.Pos.Sub(w.EV.Pos),
@@ -275,5 +283,5 @@ func (w *World) Relative() []RelState {
 			InLane: w.Road.InEVCorridor(a.Pos.Y, a.Size.Width, w.EV.Size.Width),
 		})
 	}
-	return out
+	return dst
 }

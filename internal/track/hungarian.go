@@ -7,13 +7,50 @@ import "math"
 // whose cost is >= Forbidden afterwards.
 const Forbidden = 1e6
 
-// Hungarian solves the rectangular assignment problem for the given
-// cost matrix (rows = workers, cols = jobs) and returns assignment[r] =
-// assigned column for each row, or -1 when the row is unassigned
-// (possible when cols < rows). It minimizes total cost in O(n^3) using
-// the Jonker-Volgenant style shortest augmenting path formulation of
-// the Kuhn-Munkres algorithm — the "M" stage in the paper's Fig. 1.
-func Hungarian(cost [][]float64) []int {
+// hungarianScratch holds the working arrays of the assignment solver
+// so a long-lived caller (the Tracker, once per frame) can run it with
+// zero heap allocations once the buffers are warm. The algorithm and
+// its arithmetic are identical to the historical allocating version —
+// only the storage is reused.
+type hungarianScratch struct {
+	a          []float64 // (dim+1) x (dim+1) padded cost, flat row-major
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+	out        []int
+}
+
+// grow ensures every buffer covers a (dim+1)-sized problem.
+func (s *hungarianScratch) grow(dim, n int) {
+	if cap(s.a) < (dim+1)*(dim+1) {
+		s.a = make([]float64, (dim+1)*(dim+1))
+	}
+	s.a = s.a[:(dim+1)*(dim+1)]
+	if cap(s.u) < dim+1 {
+		s.u = make([]float64, dim+1)
+		s.v = make([]float64, dim+1)
+		s.minv = make([]float64, dim+1)
+		s.p = make([]int, dim+1)
+		s.way = make([]int, dim+1)
+		s.used = make([]bool, dim+1)
+	}
+	s.u = s.u[:dim+1]
+	s.v = s.v[:dim+1]
+	s.minv = s.minv[:dim+1]
+	s.p = s.p[:dim+1]
+	s.way = s.way[:dim+1]
+	s.used = s.used[:dim+1]
+	if cap(s.out) < n {
+		s.out = make([]int, n)
+	}
+	s.out = s.out[:n]
+}
+
+// solve runs the Jonker-Volgenant style shortest augmenting path
+// formulation of Kuhn-Munkres on cost (rows = workers, cols = jobs)
+// and returns assignment[r] = assigned column (or -1). The returned
+// slice aliases the scratch and is valid until the next solve call.
+func (s *hungarianScratch) solve(cost [][]float64) []int {
 	n := len(cost)
 	if n == 0 {
 		return nil
@@ -25,7 +62,8 @@ func Hungarian(cost [][]float64) []int {
 		}
 	}
 	if m == 0 {
-		out := make([]int, n)
+		s.grow(0, n)
+		out := s.out
 		for i := range out {
 			out[i] = -1
 		}
@@ -38,30 +76,31 @@ func Hungarian(cost [][]float64) []int {
 	if m > dim {
 		dim = m
 	}
-	a := make([][]float64, dim+1)
+	s.grow(dim, n)
+	w := dim + 1
 	for i := 1; i <= dim; i++ {
-		a[i] = make([]float64, dim+1)
 		for j := 1; j <= dim; j++ {
 			c := Forbidden
 			if i-1 < n && j-1 < len(cost[i-1]) {
 				c = cost[i-1][j-1]
 			}
-			a[i][j] = c
+			s.a[i*w+j] = c
 		}
 	}
 
-	u := make([]float64, dim+1)
-	v := make([]float64, dim+1)
-	p := make([]int, dim+1) // p[j] = row assigned to column j
-	way := make([]int, dim+1)
+	u, v, p, way := s.u, s.v, s.p, s.way
+	for i := range u {
+		u[i], v[i] = 0, 0
+		p[i], way[i] = 0, 0
+	}
 
 	for i := 1; i <= dim; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, dim+1)
-		used := make([]bool, dim+1)
+		minv, used := s.minv, s.used
 		for j := range minv {
 			minv[j] = math.Inf(1)
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -71,7 +110,7 @@ func Hungarian(cost [][]float64) []int {
 				if used[j] {
 					continue
 				}
-				cur := a[i0][j] - u[i0] - v[j]
+				cur := s.a[i0*w+j] - u[i0] - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0
@@ -104,7 +143,7 @@ func Hungarian(cost [][]float64) []int {
 		}
 	}
 
-	out := make([]int, n)
+	out := s.out
 	for i := range out {
 		out[i] = -1
 	}
@@ -113,5 +152,23 @@ func Hungarian(cost [][]float64) []int {
 			out[r-1] = j - 1
 		}
 	}
+	return out
+}
+
+// Hungarian solves the rectangular assignment problem for the given
+// cost matrix (rows = workers, cols = jobs) and returns assignment[r] =
+// assigned column for each row, or -1 when the row is unassigned
+// (possible when cols < rows). It minimizes total cost in O(n^3) — the
+// "M" stage in the paper's Fig. 1. The Tracker uses the scratch-based
+// solver directly; this wrapper allocates fresh working storage per
+// call.
+func Hungarian(cost [][]float64) []int {
+	var s hungarianScratch
+	res := s.solve(cost)
+	if res == nil {
+		return nil
+	}
+	out := make([]int, len(res))
+	copy(out, res)
 	return out
 }

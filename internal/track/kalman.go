@@ -22,6 +22,14 @@ import (
 // Kalman is a constant-velocity Kalman filter over an image-space
 // bounding-box center. State is [u, v, du, dv] in pixels and pixels per
 // frame; time steps are whole camera frames (dt = 1).
+//
+// Every matrix the filter touches — state, covariance, and all
+// intermediates — is allocated once at construction and reused in
+// place, so Predict and Update perform zero heap allocations: the
+// filter runs per track per frame and used to dominate the frame
+// loop's GC pressure. The arithmetic is the exact operation sequence
+// of the textbook out-of-place formulation, so state trajectories are
+// bit-identical to the historical implementation.
 type Kalman struct {
 	x *mat.Matrix // 4x1 state
 	p *mat.Matrix // 4x4 covariance
@@ -29,6 +37,18 @@ type Kalman struct {
 	f, fT *mat.Matrix // transition
 	q     *mat.Matrix // process noise
 	h, hT *mat.Matrix // measurement model
+	i4    *mat.Matrix // 4x4 identity
+
+	// Scratch for Predict/Update, reused every call.
+	t41        *mat.Matrix // 4x1
+	t44a, t44b *mat.Matrix // 4x4
+	t24        *mat.Matrix // 2x4
+	t42        *mat.Matrix // 4x2
+	gain       *mat.Matrix // 4x2
+	r, s       *mat.Matrix // 2x2
+	sInv, sTmp *mat.Matrix // 2x2
+	y21, hx21  *mat.Matrix // 2x1
+	gy41, pNew *mat.Matrix // 4x1, 4x4
 
 	// lastInnov is the most recent measurement residual (z - Hx), and
 	// lastInnovNorm the residual normalized by the innovation standard
@@ -54,39 +74,82 @@ func NewKalman(center geom.Vec2) *Kalman {
 			{1, 0, 0, 0},
 			{0, 1, 0, 0},
 		}),
+		i4: mat.Identity(4),
+
+		t41:  mat.New(4, 1),
+		t44a: mat.New(4, 4),
+		t44b: mat.New(4, 4),
+		t24:  mat.New(2, 4),
+		t42:  mat.New(4, 2),
+		gain: mat.New(4, 2),
+		r:    mat.New(2, 2),
+		s:    mat.New(2, 2),
+		sInv: mat.New(2, 2),
+		sTmp: mat.New(2, 2),
+		y21:  mat.New(2, 1),
+		hx21: mat.New(2, 1),
+		gy41: mat.New(4, 1),
+		pNew: mat.New(4, 4),
 	}
 	k.fT = k.f.T()
 	k.hT = k.h.T()
 	return k
 }
 
+// Reset re-initializes the filter at a new measured center, exactly as
+// NewKalman would, reusing every matrix (track recycling).
+func (k *Kalman) Reset(center geom.Vec2) {
+	k.x.Set(0, 0, center.X)
+	k.x.Set(1, 0, center.Y)
+	k.x.Set(2, 0, 0)
+	k.x.Set(3, 0, 0)
+	k.p.Zero()
+	k.p.Set(0, 0, 25)
+	k.p.Set(1, 1, 25)
+	k.p.Set(2, 2, 16)
+	k.p.Set(3, 3, 16)
+	k.lastInnov = geom.Vec2{}
+	k.lastInnovNorm = geom.Vec2{}
+}
+
 // Predict advances the state one frame: x = Fx, P = FPF' + Q.
 func (k *Kalman) Predict() {
-	k.x = k.f.Mul(k.x)
-	k.p = k.f.Mul(k.p).Mul(k.fT).Add(k.q)
+	mat.MulInto(k.t41, k.f, k.x)
+	k.x.CopyFrom(k.t41)
+	mat.MulInto(k.t44a, k.f, k.p)
+	mat.MulInto(k.t44b, k.t44a, k.fT)
+	mat.AddInto(k.p, k.t44b, k.q)
 }
 
 // Update incorporates a measured center z with per-axis measurement
 // standard deviations (sigmaU, sigmaV) in pixels.
 func (k *Kalman) Update(z geom.Vec2, sigmaU, sigmaV float64) error {
-	r := mat.Diag(math.Max(sigmaU*sigmaU, 1), math.Max(sigmaV*sigmaV, 1))
+	k.r.Zero()
+	k.r.Set(0, 0, math.Max(sigmaU*sigmaU, 1))
+	k.r.Set(1, 1, math.Max(sigmaV*sigmaV, 1))
 	// Innovation y = z - Hx and its covariance S = HPH' + R.
-	hx := k.h.Mul(k.x)
-	y := mat.ColVec(z.X-hx.At(0, 0), z.Y-hx.At(1, 0))
-	s := k.h.Mul(k.p).Mul(k.hT).Add(r)
-	sInv, err := s.Inverse()
-	if err != nil {
+	mat.MulInto(k.hx21, k.h, k.x)
+	k.y21.Set(0, 0, z.X-k.hx21.At(0, 0))
+	k.y21.Set(1, 0, z.Y-k.hx21.At(1, 0))
+	mat.MulInto(k.t24, k.h, k.p)
+	mat.MulInto(k.sTmp, k.t24, k.hT)
+	mat.AddInto(k.s, k.sTmp, k.r)
+	if err := mat.InverseInto(k.sInv, k.sTmp, k.s); err != nil {
 		return fmt.Errorf("kalman update: %w", err)
 	}
-	gain := k.p.Mul(k.hT).Mul(sInv)
-	k.x = k.x.Add(gain.Mul(y))
-	kh := gain.Mul(k.h)
-	k.p = mat.Identity(4).Sub(kh).Mul(k.p)
+	mat.MulInto(k.t42, k.p, k.hT)
+	mat.MulInto(k.gain, k.t42, k.sInv)
+	mat.MulInto(k.gy41, k.gain, k.y21)
+	mat.AddInto(k.x, k.x, k.gy41)
+	mat.MulInto(k.t44a, k.gain, k.h) // KH
+	mat.SubInto(k.t44b, k.i4, k.t44a)
+	mat.MulInto(k.pNew, k.t44b, k.p)
+	k.p.CopyFrom(k.pNew)
 
-	k.lastInnov = geom.V(y.At(0, 0), y.At(1, 0))
+	k.lastInnov = geom.V(k.y21.At(0, 0), k.y21.At(1, 0))
 	k.lastInnovNorm = geom.V(
-		y.At(0, 0)/math.Sqrt(s.At(0, 0)),
-		y.At(1, 0)/math.Sqrt(s.At(1, 1)),
+		k.y21.At(0, 0)/math.Sqrt(k.s.At(0, 0)),
+		k.y21.At(1, 0)/math.Sqrt(k.s.At(1, 1)),
 	)
 	return nil
 }

@@ -104,6 +104,9 @@ type Track struct {
 	Misses    int
 	Age       int
 	Confirmed bool
+
+	// dup marks the track for duplicate suppression within one Step.
+	dup bool
 }
 
 // Box returns the current smoothed bounding box: centered horizontally
@@ -130,11 +133,22 @@ func (t *Track) Coasting() bool { return t.Misses > 0 }
 
 // Tracker is the multi-object tracker: Hungarian association of
 // detections to Kalman-filtered tracks with a tentative/confirmed/
-// deleted lifecycle.
+// deleted lifecycle. All per-frame working storage — the cost matrix,
+// the assignment solver's arrays, and dead Track objects (with their
+// Kalman matrices) — is owned by the struct and reused across frames,
+// so a warm Step performs no heap allocations.
 type Tracker struct {
 	cfg    Config
 	tracks []*Track
 	nextID int
+
+	// Per-frame scratch, reused across Step calls.
+	hung     hungarianScratch
+	costFlat []float64
+	costRows [][]float64
+	assigned []int
+	usedDet  []bool
+	free     []*Track // recycled tracks, Kalman matrices intact
 }
 
 // NewTracker creates an empty tracker.
@@ -160,7 +174,8 @@ func (tr *Tracker) Confirmed() []*Track {
 }
 
 // Step advances all tracks one frame and associates the new detections.
-// It returns the live track set after the update.
+// It returns the live track set after the update; the set is valid
+// until the next Step or Reset call (dead tracks are recycled).
 func (tr *Tracker) Step(dets []detect.Detection) []*Track {
 	for _, t := range tr.tracks {
 		t.kf.Predict()
@@ -170,14 +185,19 @@ func (tr *Tracker) Step(dets []detect.Detection) []*Track {
 	// Build the association cost matrix: cost = (1 - IoU) + normalized
 	// center distance; pairs beyond the class gate are forbidden.
 	nT, nD := len(tr.tracks), len(dets)
-	assigned := make([]int, nT)
-	for i := range assigned {
-		assigned[i] = -1
+	assigned := tr.assigned[:0]
+	for i := 0; i < nT; i++ {
+		assigned = append(assigned, -1)
 	}
+	tr.assigned = assigned
 	if nT > 0 && nD > 0 {
-		cost := make([][]float64, nT)
+		if cap(tr.costFlat) < nT*nD {
+			tr.costFlat = make([]float64, nT*nD)
+		}
+		flat := tr.costFlat[:nT*nD]
+		cost := tr.costRows[:0]
 		for i, t := range tr.tracks {
-			row := make([]float64, nD)
+			row := flat[i*nD : (i+1)*nD]
 			pbox := t.Box()
 			gate := tr.cfg.Gate(t.Class, pbox.W)
 			for j, d := range dets {
@@ -197,9 +217,10 @@ func (tr *Tracker) Step(dets []detect.Detection) []*Track {
 				}
 				row[j] = (1 - iou) + dist/gate
 			}
-			cost[i] = row
+			cost = append(cost, row)
 		}
-		res := Hungarian(cost)
+		tr.costRows = cost
+		res := tr.hung.solve(cost)
 		for i, j := range res {
 			if j >= 0 && cost[i][j] < Forbidden {
 				assigned[i] = j
@@ -207,7 +228,11 @@ func (tr *Tracker) Step(dets []detect.Detection) []*Track {
 		}
 	}
 
-	usedDet := make([]bool, nD)
+	usedDet := tr.usedDet[:0]
+	for j := 0; j < nD; j++ {
+		usedDet = append(usedDet, false)
+	}
+	tr.usedDet = usedDet
 	for i, t := range tr.tracks {
 		j := assigned[i]
 		if j < 0 {
@@ -233,19 +258,19 @@ func (tr *Tracker) Step(dets []detect.Detection) []*Track {
 		}
 	}
 
-	// Unmatched detections spawn tentative tracks.
+	// Unmatched detections spawn tentative tracks (recycling dead ones'
+	// Kalman matrices when available).
 	for j, d := range dets {
 		if usedDet[j] {
 			continue
 		}
-		tr.tracks = append(tr.tracks, &Track{
-			ID:    tr.nextID,
-			Class: d.Class,
-			kf:    NewKalman(tr.cfg.Measurement(d.Class, d)),
-			W:     d.Box.W,
-			H:     d.Box.H,
-			Hits:  1,
-		})
+		t := tr.spawn(tr.cfg.Measurement(d.Class, d))
+		t.ID = tr.nextID
+		t.Class = d.Class
+		t.W = d.Box.W
+		t.H = d.Box.H
+		t.Hits = 1
+		tr.tracks = append(tr.tracks, t)
 		tr.nextID++
 	}
 
@@ -255,27 +280,35 @@ func (tr *Tracker) Step(dets []detect.Detection) []*Track {
 	for _, t := range tr.tracks {
 		if t.Misses <= tr.cfg.MaxMisses {
 			live = append(live, t)
+		} else {
+			tr.free = append(tr.free, t)
 		}
 	}
 	tr.tracks = live
-	dup := map[*Track]bool{}
+	ndup := 0
+	for _, t := range tr.tracks {
+		t.dup = false
+	}
 	for i, a := range tr.tracks {
 		for _, b := range tr.tracks[i+1:] {
-			if dup[a] || dup[b] || a.Box().IoU(b.Box()) < 0.5 {
+			if a.dup || b.dup || a.Box().IoU(b.Box()) < 0.5 {
 				continue
 			}
 			victim := b
 			if a.Age < b.Age {
 				victim = a
 			}
-			dup[victim] = true
+			victim.dup = true
+			ndup++
 		}
 	}
-	if len(dup) > 0 {
+	if ndup > 0 {
 		live = tr.tracks[:0]
 		for _, t := range tr.tracks {
-			if !dup[t] {
+			if !t.dup {
 				live = append(live, t)
+			} else {
+				tr.free = append(tr.free, t)
 			}
 		}
 		tr.tracks = live
@@ -283,8 +316,24 @@ func (tr *Tracker) Step(dets []detect.Detection) []*Track {
 	return tr.tracks
 }
 
-// Reset drops all tracks (start of a new episode).
+// spawn returns a Track initialized at the measured center, reusing a
+// recycled Track (and its Kalman filter's matrices) when one is free.
+func (tr *Tracker) spawn(meas geom.Vec2) *Track {
+	if n := len(tr.free); n > 0 {
+		t := tr.free[n-1]
+		tr.free = tr.free[:n-1]
+		kf := t.kf
+		kf.Reset(meas)
+		*t = Track{kf: kf}
+		return t
+	}
+	return &Track{kf: NewKalman(meas)}
+}
+
+// Reset drops all tracks (start of a new episode), recycling them for
+// the next one.
 func (tr *Tracker) Reset() {
-	tr.tracks = nil
+	tr.free = append(tr.free, tr.tracks...)
+	tr.tracks = tr.tracks[:0]
 	tr.nextID = 1
 }
