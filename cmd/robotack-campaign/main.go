@@ -23,7 +23,9 @@
 //	robotack-campaign -runs 100 -out sweep.jsonl       # persist records
 //	robotack-campaign -runs 100 -out sweep.jsonl -resume  # pick up an interrupted sweep
 //	robotack-campaign -out new.jsonl -compare old.jsonl   # diff two stores and exit
+//	robotack-campaign -policy trained.json  # evaluate a searched policy next to the paper trigger
 //	robotack-campaign -list-scenarios
+//	robotack-campaign -list-policies
 //	robotack-campaign -runs 40 -cpuprofile cpu.prof -memprofile mem.prof  # pprof the hot path
 package main
 
@@ -40,6 +42,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/policy"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
@@ -61,6 +64,8 @@ func run() error {
 		scenarioFile = flag.String("scenario-file", "", "evaluate a JSON scenario spec instead of Table II")
 		generate     = flag.Bool("generate", false, "evaluate procedurally generated scenarios instead of Table II")
 		list         = flag.Bool("list-scenarios", false, "list registered scenario specs and exit")
+		policyFile   = flag.String("policy", "", "evaluate this policy artifact's trigger side-by-side with the paper trigger")
+		listPolicies = flag.Bool("list-policies", false, "list known policy artifact kinds and exit")
 		out          = flag.String("out", "", "append episode and campaign records to this JSONL results store")
 		resume       = flag.Bool("resume", false, "fold episodes already persisted in -out back into the aggregates instead of re-running them")
 		compare      = flag.String("compare", "", "diff this JSONL store against -out and exit (no campaigns run)")
@@ -101,6 +106,27 @@ func run() error {
 			fmt.Println(name)
 		}
 		return nil
+	}
+	if *listPolicies {
+		for _, k := range policy.Kinds() {
+			fmt.Printf("%-8s %s\n", k.Kind, k.Desc)
+		}
+		return nil
+	}
+
+	var pol core.TriggerPolicy
+	var polLabel string
+	if *policyFile != "" {
+		art, err := policy.Load(*policyFile)
+		if err != nil {
+			return err
+		}
+		pol, err = art.Build()
+		if err != nil {
+			return err
+		}
+		polLabel = art.Label()
+		fmt.Printf("policy: %s (kind %s, from %s)\n", polLabel, art.Kind, *policyFile)
 	}
 
 	if *compare != "" {
@@ -185,12 +211,13 @@ func run() error {
 	}
 
 	if custom != nil {
-		return runCustom(eng, custom, *runs, *seed, oracles, opts)
+		return runCustom(eng, custom, *runs, *seed, oracles, pol, polLabel, opts)
 	}
 
 	campaigns := experiment.TableIICampaigns()
 	withSH := make([]experiment.CampaignResult, 0, len(campaigns))
 	noSH := make([]experiment.CampaignResult, 0, len(campaigns))
+	var withPolicy []experiment.CampaignResult
 	for _, c := range campaigns {
 		res, err := experiment.RunCampaignOn(eng, c, *runs, *seed, oracles, opts...)
 		if err != nil {
@@ -204,6 +231,14 @@ func run() error {
 				return err
 			}
 			noSH = append(noSH, nres)
+			if pol != nil {
+				pres, err := experiment.RunCampaignOn(eng, c.WithPolicy(polLabel, pol), *runs, *seed, oracles, opts...)
+				if err != nil {
+					return err
+				}
+				withPolicy = append(withPolicy, pres)
+				fmt.Printf("campaign %-24s done (%d runs)\n", c.Name+"-"+polLabel, pres.Runs)
+			}
 		}
 	}
 
@@ -211,6 +246,13 @@ func run() error {
 
 	fmt.Println("\n=== Table II ===")
 	fmt.Print(experiment.FormatTableII(withRecs))
+
+	if pol != nil {
+		// Side-by-side evaluation: the same smart campaigns and seeds,
+		// with the artifact's trigger in place of the paper's.
+		fmt.Printf("\n=== Table II — policy %q (same seeds, smart campaigns) ===\n", polLabel)
+		fmt.Print(experiment.FormatTableII(experiment.Records(withPolicy)))
+	}
 
 	fmt.Println("\n=== Fig. 6 ===")
 	fmt.Print(experiment.FormatFig6(experiment.Fig6Rows(withRecs[:len(noRecs)], noRecs)))
@@ -231,8 +273,9 @@ func run() error {
 
 // runCustom evaluates one scenario source (a spec file or the
 // procedural generator): an attack-free golden baseline, the smart
-// malware and the random baseline, each over the same seeds.
-func runCustom(eng *engine.Engine, src scenario.Source, runs int, seed int64, oracles map[core.Vector]core.Oracle, opts []experiment.RunOption) error {
+// malware and the random baseline — plus, with -policy, the artifact's
+// trigger — each over the same seeds.
+func runCustom(eng *engine.Engine, src scenario.Source, runs int, seed int64, oracles map[core.Vector]core.Oracle, pol core.TriggerPolicy, polLabel string, opts []experiment.RunOption) error {
 	golden, err := experiment.RunGoldenOn(eng, src, runs, seed, opts...)
 	if err != nil {
 		return err
@@ -243,6 +286,9 @@ func runCustom(eng *engine.Engine, src scenario.Source, runs int, seed int64, or
 	campaigns := []experiment.Campaign{
 		{Name: src.Label() + "-Smart-R", Scenario: src, Mode: core.ModeSmart, ExpectCrashes: true},
 		{Name: src.Label() + "-Baseline-Random", Scenario: src, Mode: core.ModeRandom, ExpectCrashes: true},
+	}
+	if pol != nil {
+		campaigns = append(campaigns, campaigns[0].WithPolicy(polLabel, pol))
 	}
 	res := make([]experiment.CampaignResult, 0, len(campaigns))
 	for _, c := range campaigns {

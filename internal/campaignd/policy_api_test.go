@@ -1,0 +1,102 @@
+package campaignd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/robotack/robotack/internal/results"
+)
+
+// TestServeInlinePolicy: POST /runs with an inline policy artifact runs
+// the smart campaign under that policy; the "paper" kind reproduces the
+// policy-free run bit-identically, and malformed artifacts are rejected
+// at submission with the artifact's own error text.
+func TestServeInlinePolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	store := results.NewMemStore()
+	ts := newTestServer(t, store, WithWorkers(4))
+
+	launch := func(body string) RunStatus {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st RunStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("launch %q: status %d", body, resp.StatusCode)
+		}
+		return waitRun(t, ts.URL, st.ID, 3*time.Minute)
+	}
+
+	// Baseline: no policy.
+	st := launch(`{"scenario":"DS-2","mode":"smart","name":"plain","runs":3,"seed":42}`)
+	if st.State != "done" {
+		t.Fatalf("baseline run: %q (%s)", st.State, st.Error)
+	}
+	// Same campaign through the paper-kind artifact: zero drift.
+	st = launch(`{"scenario":"DS-2","mode":"smart","name":"via-paper","runs":3,"seed":42,"policy":{"v":1,"kind":"paper"}}`)
+	if st.State != "done" {
+		t.Fatalf("paper-policy run: %q (%s)", st.State, st.Error)
+	}
+	plain, err := store.Episodes("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPaper, err := store.Episodes("via-paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) == 0 || len(plain) != len(viaPaper) {
+		t.Fatalf("episodes: %d plain vs %d via-paper", len(plain), len(viaPaper))
+	}
+	for i := range plain {
+		a, b := plain[i], viaPaper[i]
+		a.Campaign, b.Campaign = "", ""
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("episode %d drifted under the paper-kind policy:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+
+	// A parameterized artifact is accepted and runs.
+	st = launch(`{"scenario":"DS-2","mode":"smart","name":"via-param","runs":3,"seed":42,"policy":{"v":1,"kind":"param","params":{"gamma":12,"gamma_move_in":-2,"k_min":4,"k_max_vehicle":59,"k_max_pedestrian":31,"delay":0,"offset_scale":1,"offset_bias_m":0,"step_scale":1,"swap_masking":false}}}`)
+	if st.State != "done" {
+		t.Fatalf("param-policy run: %q (%s)", st.State, st.Error)
+	}
+
+	// Rejections happen at POST time, with the policy error text.
+	for body, want := range map[string]string{
+		// The error body is JSON, so quotes inside the message arrive
+		// escaped — match quote-free fragments.
+		`{"scenario":"DS-2","mode":"smart","runs":2,"seed":1,"policy":{"v":1,"kind":"bandit"}}`: `unknown policy kind`,
+		`{"scenario":"DS-2","mode":"smart","runs":2,"seed":1,"policy":{"v":99,"kind":"paper"}}`: "newer than this build",
+		`{"scenario":"DS-2","mode":"golden","runs":2,"seed":1,"policy":{"v":1,"kind":"paper"}}`: "smart-mode runs only",
+		`{"scenario":"DS-2","mode":"smart","runs":2,"seed":1,"policy":{"v":1,"kind":"param"}}`:  "requires params",
+	} {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("body %q: error %q does not contain %q", body, raw, want)
+		}
+	}
+}

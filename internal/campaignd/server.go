@@ -292,7 +292,10 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 // RunRequest is the POST /runs body: exactly one of a registered
 // scenario name, an inline declarative spec, or procedural-generator
-// parameters, plus mode/runs/seed.
+// parameters, plus mode/runs/seed and — for smart-mode runs — an
+// optional inline attack-policy artifact ("policy": the JSON
+// robotack-search writes). Queued and leased workers evaluate the
+// policy instead of the built-in fixed trigger.
 type RunRequest = runq.Request
 
 // RunStatus is the progress of one queued run.

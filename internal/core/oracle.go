@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/robotack/robotack/internal/geom"
 	"github.com/robotack/robotack/internal/nn"
@@ -196,11 +197,15 @@ func NewSafetyHijacker(cfg SafetyHijackerConfig, oracles map[Vector]Oracle) *Saf
 }
 
 // KMax returns the stealth bound on attack duration for a class.
-func (sh *SafetyHijacker) KMax(cls sim.Class) int {
+func (sh *SafetyHijacker) KMax(cls sim.Class) int { return sh.cfg.KMax(cls) }
+
+// KMax returns the configured stealth bound on attack duration for a
+// class.
+func (cfg SafetyHijackerConfig) KMax(cls sim.Class) int {
 	if cls == sim.ClassPedestrian {
-		return sh.cfg.KMaxPedestrian
+		return cfg.KMaxPedestrian
 	}
-	return sh.cfg.KMaxVehicle
+	return cfg.KMaxVehicle
 }
 
 // Decision is the safety hijacker's output.
@@ -218,16 +223,27 @@ type Decision struct {
 // false when even KMax frames cannot push the safety potential below
 // gamma.
 func (sh *SafetyHijacker) Decide(s State, v Vector, cls sim.Class) (Decision, error) {
+	return sh.DecideWith(sh.cfg, s, v, cls)
+}
+
+// DecideWith evaluates Eq. 2 under an alternative threshold
+// configuration, consulting the hijacker's oracles. It is the hook for
+// parameterized attack policies: a policy searches the same oracle
+// under its own gamma / K bounds without rebuilding the hijacker.
+func (sh *SafetyHijacker) DecideWith(cfg SafetyHijackerConfig, s State, v Vector, cls sim.Class) (Decision, error) {
 	oracle, ok := sh.oracles[v]
 	if !ok {
 		return Decision{}, fmt.Errorf("core: no oracle for vector %v", v)
 	}
-	gamma := sh.cfg.Gamma
+	gamma := cfg.Gamma
 	if v == VectorMoveIn {
-		gamma = sh.cfg.GammaMoveIn
+		gamma = cfg.GammaMoveIn
 	}
-	kMax := sh.KMax(cls)
-	if pred := oracle.PredictDelta(s, kMax); pred > gamma {
+	kMax := cfg.KMax(cls)
+	// A NaN forecast means the oracle has no usable prediction; it
+	// would slip past the > gamma guard (NaN compares false) and launch
+	// a kMax attack on garbage, so hold fire explicitly.
+	if pred := oracle.PredictDelta(s, kMax); pred > gamma || math.IsNaN(pred) {
 		return Decision{Attack: false, PredictedDelta: pred}, nil
 	}
 	lo, hi := 1, kMax // invariant: f(hi) <= gamma
@@ -240,8 +256,8 @@ func (sh *SafetyHijacker) Decide(s State, v Vector, cls sim.Class) (Decision, er
 		}
 	}
 	k := hi
-	if k < sh.cfg.KMin {
-		k = sh.cfg.KMin
+	if k < cfg.KMin {
+		k = cfg.KMin
 	}
 	return Decision{Attack: true, K: k, PredictedDelta: oracle.PredictDelta(s, k)}, nil
 }

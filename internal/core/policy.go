@@ -1,0 +1,73 @@
+package core
+
+import "github.com/robotack/robotack/internal/sim"
+
+// PolicyInput is the malware's per-frame view handed to an attack
+// policy once a matched target is available: the oracle input state,
+// the scenario matcher's Table I vector, and the target's class and
+// image-relevant geometry. It carries everything a policy needs to
+// decide WHEN to fire and HOW to shape the injection without giving it
+// access to ADS or simulator ground truth (the §III-B threat model is
+// unchanged — policies see only what the malware's own camera-side
+// pipeline reconstructs).
+type PolicyInput struct {
+	// Frame is the episode frame index.
+	Frame int
+	// State is the safety-hijacker oracle input (delta, vrel, arel,
+	// EV speed) for the matched target.
+	State State
+	// Vector is the scenario matcher's Table I choice for this target.
+	Vector Vector
+	// Class is the target's perceived class.
+	Class sim.Class
+	// RelY is the target's lateral position in the EV frame (m).
+	RelY float64
+	// Width is the target's perceived width (m).
+	Width float64
+}
+
+// PolicyDecision is an attack policy's answer: whether to launch this
+// frame, with what vector, for how long, and how to shape the injected
+// trajectory. The zero shaping values (OffsetScale 0, OffsetBiasM 0,
+// StepScale 0, Delay 0) mean "exactly the paper's geometry" — the
+// launch path treats 0 scales as 1.0 and applies no bias or delay, so
+// a decision carrying only Attack/Vector/K/PredictedDelta reproduces
+// the fixed trigger bit for bit.
+type PolicyDecision struct {
+	Attack bool
+	// Vector replaces the matcher's choice (the masking choice: the
+	// Move_Out/Disappear cells of Table I are interchangeable).
+	// VectorNone keeps the matcher's vector.
+	Vector Vector
+	// K is the attack duration in frames (Eq. 2's k*).
+	K int
+	// PredictedDelta is the policy's delta_{t+K} forecast, recorded
+	// for the Fig. 8 study (NaN: no forecast).
+	PredictedDelta float64
+	// Delay postpones the perturbation onset by this many frames
+	// after launch (timing jitter; ignored for Disappear).
+	Delay int
+	// OffsetScale multiplies the planned lateral displacement Omega
+	// (0 means 1.0 — unscaled).
+	OffsetScale float64
+	// OffsetBiasM adds meters to Omega after scaling.
+	OffsetBiasM float64
+	// StepScale multiplies the Move_Out per-frame drift cap (0 means
+	// 1.0 — the paper's fusion-following rate).
+	StepScale float64
+}
+
+// TriggerPolicy is the adaptive-attack hook: smart-mode malware with a
+// policy installed consults it instead of the built-in fixed
+// safety-hijacking trigger whenever the matcher proposes an attackable
+// target. The safety hijacker (with its per-episode oracles) is passed
+// in so policies can run oracle searches under their own thresholds.
+//
+// Implementations must be stateless and goroutine-safe: one policy
+// value is shared by every worker of a campaign batch, and Consult may
+// be called concurrently from different episodes (each with its own
+// SafetyHijacker). Determinism of the whole campaign rests on Consult
+// being a pure function of its inputs.
+type TriggerPolicy interface {
+	Consult(in PolicyInput, sh *SafetyHijacker) (PolicyDecision, error)
+}

@@ -81,6 +81,14 @@ func (th *TrajectoryHijacker) SetDelay(n int) {
 	}
 }
 
+// AddDelay postpones the drift by n further frames (policy timing
+// jitter stacks on top of the Move_In cut-in timing).
+func (th *TrajectoryHijacker) AddDelay(n int) {
+	if n > 0 {
+		th.delay += n
+	}
+}
+
 // SetStepCapPx bounds the per-frame drift in pixels.
 func (th *TrajectoryHijacker) SetStepCapPx(px float64) {
 	if px > 0 {

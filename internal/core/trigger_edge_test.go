@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/robotack/robotack/internal/geom"
+	"github.com/robotack/robotack/internal/sim"
+)
+
+// nanOracle forecasts NaN for every query — a degenerate trained model.
+type nanOracle struct{}
+
+func (nanOracle) PredictDelta(State, int) float64 { return math.NaN() }
+
+// farOracle forecasts a safety potential that never drops below any
+// threshold: the attack is never worth launching.
+type farOracle struct{}
+
+func (farOracle) PredictDelta(State, int) float64 { return 1e6 }
+
+// cliffOracle drops below gamma immediately: Eq. 2's binary search
+// lands on k=1, exercising the KMin clamp.
+type cliffOracle struct{}
+
+func (cliffOracle) PredictDelta(s State, k int) float64 { return -100 }
+
+func edgeState() State {
+	return State{Delta: 20, EVSpeed: 10}
+}
+
+// TestDecideMissingOracle: a vector the hijacker has no oracle for is
+// an error, not a silent no-attack — it means the build wired the
+// vectors wrong.
+func TestDecideMissingOracle(t *testing.T) {
+	sh := &SafetyHijacker{
+		cfg:     DefaultSafetyHijackerConfig(),
+		oracles: map[Vector]Oracle{}, // deliberately empty: bypass the constructor's analytic fallback
+	}
+	_, err := sh.Decide(edgeState(), VectorDisappear, sim.ClassVehicle)
+	if err == nil {
+		t.Fatal("Decide with no oracle for the vector returned no error")
+	}
+	if !strings.Contains(err.Error(), "no oracle for vector") {
+		t.Errorf("error %q does not name the missing oracle", err)
+	}
+}
+
+// TestDecideNaNForecast: a NaN forecast must refuse to attack. NaN
+// compares false with any threshold, so the plain pred > gamma guard
+// would fall through to the binary search and launch a full-kMax
+// attack on a garbage prediction; the trigger holds fire explicitly.
+func TestDecideNaNForecast(t *testing.T) {
+	sh := NewSafetyHijacker(DefaultSafetyHijackerConfig(),
+		map[Vector]Oracle{VectorDisappear: nanOracle{}})
+	dec, err := sh.Decide(edgeState(), VectorDisappear, sim.ClassVehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Attack {
+		t.Errorf("NaN forecast launched an attack (K=%d)", dec.K)
+	}
+	// Whatever the decision, the predicted delta must surface as NaN
+	// (the record layer sanitizes it; the core must not invent a
+	// number).
+	if !math.IsNaN(dec.PredictedDelta) {
+		t.Errorf("PredictedDelta = %v, want NaN propagated", dec.PredictedDelta)
+	}
+}
+
+// TestDecideNoAttackBeyondKMax: when even the stealth-bounded maximum
+// duration cannot push the potential below gamma, the trigger holds
+// fire and reports the forecast it based that on.
+func TestDecideNoAttackBeyondKMax(t *testing.T) {
+	sh := NewSafetyHijacker(DefaultSafetyHijackerConfig(),
+		map[Vector]Oracle{VectorMoveOut: farOracle{}})
+	dec, err := sh.Decide(edgeState(), VectorMoveOut, sim.ClassVehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Attack {
+		t.Error("attack launched although the forecast never crosses gamma")
+	}
+	if dec.PredictedDelta != 1e6 {
+		t.Errorf("PredictedDelta = %v, want the kMax forecast recorded", dec.PredictedDelta)
+	}
+}
+
+// TestDecideKMinClamp: an immediately-effective attack still runs for
+// KMin frames — shorter injections are not worth the exposure.
+func TestDecideKMinClamp(t *testing.T) {
+	cfg := DefaultSafetyHijackerConfig()
+	sh := NewSafetyHijacker(cfg, map[Vector]Oracle{VectorDisappear: cliffOracle{}})
+	dec, err := sh.Decide(edgeState(), VectorDisappear, sim.ClassPedestrian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Attack {
+		t.Fatal("cliff forecast did not trigger an attack")
+	}
+	if dec.K != cfg.KMin {
+		t.Errorf("K = %d, want the KMin clamp %d", dec.K, cfg.KMin)
+	}
+}
+
+// TestDecideWithOverridesThresholds: DecideWith consults the same
+// oracles under caller thresholds — the parameterized-policy hook.
+func TestDecideWithOverridesThresholds(t *testing.T) {
+	sh := NewSafetyHijacker(DefaultSafetyHijackerConfig(), nil)
+	s := State{Delta: 30, VRel: geom.Vec2{X: -8}, EVSpeed: 12}
+
+	base, err := sh.Decide(s, VectorDisappear, sim.ClassVehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A stricter (lower) gamma needs more frames; a tiny KMax refuses.
+	strict := DefaultSafetyHijackerConfig()
+	strict.Gamma = 2
+	sdec, err := sh.DecideWith(strict, s, VectorDisappear, sim.ClassVehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Attack && sdec.Attack && sdec.K <= base.K {
+		t.Errorf("stricter gamma chose K=%d, not longer than the default's K=%d", sdec.K, base.K)
+	}
+
+	tiny := DefaultSafetyHijackerConfig()
+	tiny.KMaxVehicle = 1
+	tiny.KMin = 1
+	tdec, err := sh.DecideWith(tiny, s, VectorDisappear, sim.ClassVehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdec.Attack && base.Attack && base.K > 1 {
+		t.Error("KMax=1 config still attacked although the default needed more frames")
+	}
+
+	// DecideWith with the hijacker's own config is Decide exactly.
+	same, err := sh.DecideWith(DefaultSafetyHijackerConfig(), s, VectorDisappear, sim.ClassVehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Errorf("DecideWith(default) = %+v, Decide = %+v", same, base)
+	}
+}

@@ -27,6 +27,11 @@ type Campaign struct {
 	// ExpectCrashes is false for Move_In campaigns (no physical
 	// obstacle to hit), matching the "—" cells of Table II.
 	ExpectCrashes bool
+	// Policy drives smart-mode episodes through an attack policy
+	// instead of the built-in fixed trigger (nil: the paper's
+	// trigger). The policy value is shared across the batch's
+	// workers, so it must be stateless (see core.TriggerPolicy).
+	Policy core.TriggerPolicy
 }
 
 // TableIICampaigns returns the seven campaigns of Table II, in the
@@ -56,6 +61,17 @@ func (c Campaign) WithoutSH() Campaign {
 	out := c
 	out.Name = c.Name + "-noSH"
 	out.Mode = core.ModeNoSH
+	return out
+}
+
+// WithPolicy derives the policy-driven variant of a smart campaign:
+// same scenario and seeds, with the fixed trigger replaced by p. The
+// suffix keeps the variant's records distinct from the paper trigger's
+// so the two evaluate side by side in one store.
+func (c Campaign) WithPolicy(suffix string, p core.TriggerPolicy) Campaign {
+	out := c
+	out.Name = c.Name + "-" + suffix
+	out.Policy = p
 	return out
 }
 
@@ -299,6 +315,7 @@ func RunCampaignOn(eng *engine.Engine, c Campaign, runs int, baseSeed int64, ora
 					Attack: AttackSetup{
 						Mode:               c.Mode,
 						PreferDisappearFor: c.PreferDisappearFor,
+						Policy:             c.Policy,
 						// Episodes run concurrently; trained oracles keep
 						// per-call inference scratch, so each worker's
 						// Scratch clones them once and reuses the clones

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestRecordEpisodeSanitizesNaN: non-smart modes mark "no oracle
+// forecast" with NaN deltas, which JSON cannot carry — the record
+// boundary must map NaN and ±Inf to zero so every persisted episode
+// round-trips, and fresh vs resumed aggregates stay bit-identical.
+func TestRecordEpisodeSanitizesNaN(t *testing.T) {
+	rr := RunResult{
+		Launched:       true,
+		MinDelta:       math.NaN(),
+		DeltaAtLaunch:  math.Inf(1),
+		PredictedDelta: math.NaN(),
+		RealizedDelta:  math.Inf(-1),
+		Frames:         10,
+	}
+	ep := RecordEpisode("edge", 0, 7, "DS-1", 0, false, rr)
+	for name, v := range map[string]float64{
+		"MinDelta":       ep.MinDelta,
+		"DeltaAtLaunch":  ep.DeltaAtLaunch,
+		"PredictedDelta": ep.PredictedDelta,
+		"RealizedDelta":  ep.RealizedDelta,
+	} {
+		if v != 0 {
+			t.Errorf("%s = %v, want 0 (NaN/Inf sanitized at the record boundary)", name, v)
+		}
+	}
+	if _, err := json.Marshal(ep); err != nil {
+		t.Errorf("sanitized record does not marshal: %v", err)
+	}
+
+	// Finite values pass through untouched.
+	rr.MinDelta, rr.PredictedDelta = 3.25, -1.5
+	rr.DeltaAtLaunch, rr.RealizedDelta = 0.125, 9
+	ep = RecordEpisode("edge", 1, 8, "DS-1", 0, false, rr)
+	if ep.MinDelta != 3.25 || ep.PredictedDelta != -1.5 || ep.DeltaAtLaunch != 0.125 || ep.RealizedDelta != 9 {
+		t.Errorf("finite deltas altered: %+v", ep)
+	}
+}

@@ -30,6 +30,11 @@ type AttackSetup struct {
 	// malware's delta estimate drops below DeltaInject, for K frames —
 	// the paper's training-data collection procedure (§IV-B).
 	Forced *ForcedPlan
+	// Policy, when set, replaces smart mode's built-in fixed trigger:
+	// the malware consults it per frame for when to fire and how to
+	// shape the injection (see core.TriggerPolicy / internal/policy).
+	// Nil reproduces the paper's trigger bit-identically.
+	Policy core.TriggerPolicy
 }
 
 // ForcedPlan is a scripted attack for training-data generation.
@@ -139,6 +144,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		if fp := cfg.Attack.Forced; fp != nil {
 			mcfg.Forced = &core.ForcedPlan{DeltaInject: fp.DeltaInject, K: fp.K}
 		}
+		mcfg.Policy = cfg.Attack.Policy
 		malware = s.malwareFor(mcfg, cfg.Attack.Oracles, stats.NewRNG(cfg.Seed*31337+7))
 	}
 

@@ -1,0 +1,229 @@
+package policy
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// runTableII executes the full Table II battery with the given policy
+// installed on every smart campaign, persisting into a fresh MemStore.
+func runTableII(t *testing.T, pol core.TriggerPolicy, runs int, seed int64) *results.MemStore {
+	t.Helper()
+	store := results.NewMemStore()
+	eng := engine.New(engine.WithWorkers(2))
+	for _, c := range experiment.TableIICampaigns() {
+		if c.Mode == core.ModeSmart {
+			c.Policy = pol
+		}
+		if _, err := experiment.RunCampaignOn(eng, c, runs, seed, nil, experiment.WithSink(store)); err != nil {
+			t.Fatalf("campaign %s: %v", c.Name, err)
+		}
+	}
+	return store
+}
+
+// TestPaperTriggerBitIdentical is the zero-drift proof for the policy
+// subsystem: the Table II battery driven through PaperTrigger must be
+// byte-identical, store record for store record, to the built-in
+// smart-mode trigger (Policy == nil).
+func TestPaperTriggerBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table II battery")
+	}
+	legacy := runTableII(t, nil, 6, 1000)
+	viaPolicy := runTableII(t, PaperTrigger{}, 6, 1000)
+
+	diffs, err := results.Diff(legacy, viaPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		if d.RunsDelta != 0 || d.EBRateDelta != 0 || d.CrashRateDelta != 0 {
+			t.Errorf("campaign %s drifted under PaperTrigger: %+v", d.Name, d)
+		}
+	}
+
+	a, _ := legacy.Campaigns()
+	b, _ := viaPolicy.Campaigns()
+	ra, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ra) != string(rb) {
+		t.Errorf("aggregates not byte-identical:\n%s\nvs\n%s", ra, rb)
+	}
+	for _, name := range legacy.EpisodeCampaigns() {
+		ea, _ := legacy.Episodes(name)
+		eb, _ := viaPolicy.Episodes(name)
+		ja, _ := json.Marshal(ea)
+		jb, _ := json.Marshal(eb)
+		if string(ja) != string(jb) {
+			t.Errorf("campaign %s: episode records not byte-identical", name)
+		}
+	}
+}
+
+// TestPaperTriggerFrameByFrame asserts PaperTrigger reproduces the
+// legacy in-line trigger's full episode outcome — launch frame, vector,
+// K, and the per-frame DeltaTrace — on DS-1..DS-5.
+func TestPaperTriggerFrameByFrame(t *testing.T) {
+	for _, id := range []scenario.ID{scenario.DS1, scenario.DS2, scenario.DS3, scenario.DS4, scenario.DS5} {
+		for _, seed := range []int64{1, 77, 4242} {
+			legacy, err := experiment.Run(experiment.RunConfig{
+				Scenario: id, Seed: seed,
+				Attack: experiment.AttackSetup{Mode: core.ModeSmart},
+			})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", id, seed, err)
+			}
+			viaPolicy, err := experiment.Run(experiment.RunConfig{
+				Scenario: id, Seed: seed,
+				Attack: experiment.AttackSetup{Mode: core.ModeSmart, Policy: PaperTrigger{}},
+			})
+			if err != nil {
+				t.Fatalf("%v seed %d (policy): %v", id, seed, err)
+			}
+			if !reflect.DeepEqual(legacy, viaPolicy) {
+				t.Errorf("%v seed %d: PaperTrigger episode differs from legacy trigger:\nlegacy %+v\npolicy %+v",
+					id, seed, legacy, viaPolicy)
+			}
+		}
+	}
+}
+
+// TestDefaultParamsMatchPaper: the parameterized family contains the
+// paper's trigger at DefaultParams — evaluating it is bit-identical to
+// the fixed trigger, which is what lets the search start from the
+// reproduction's behavior.
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	pol, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []scenario.ID{scenario.DS1, scenario.DS2, scenario.DS3} {
+		legacy, err := experiment.Run(experiment.RunConfig{
+			Scenario: id, Seed: 1234,
+			Attack: experiment.AttackSetup{Mode: core.ModeSmart},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaParams, err := experiment.Run(experiment.RunConfig{
+			Scenario: id, Seed: 1234,
+			Attack: experiment.AttackSetup{Mode: core.ModeSmart, Policy: pol},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, viaParams) {
+			t.Errorf("%v: ParamPolicy(DefaultParams) differs from the paper trigger", id)
+		}
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.Gamma = 13.25
+	p.SwapMasking = true
+	p.Delay = 7
+	a := &Artifact{
+		V: Version, Kind: KindParam, Name: "trained",
+		Params: &p, Seed: 42, Generations: 8, Fitness: 0.8125,
+		TrainedOn: []string{"DS-1-search"},
+	}
+	raw, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Errorf("artifact does not round-trip exactly:\n%s\nvs\n%s", raw, raw2)
+	}
+
+	path := filepath.Join(t.TempDir(), "policy.json")
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, loaded) {
+		t.Errorf("Save/Load round-trip mismatch: %+v vs %+v", a, loaded)
+	}
+}
+
+func TestArtifactErrors(t *testing.T) {
+	params := DefaultParams()
+	bad := params
+	bad.Gamma = 99
+	cases := []struct {
+		name string
+		a    Artifact
+		want string
+	}{
+		{"unknown kind", Artifact{V: 1, Kind: "bandit"}, `unknown policy kind "bandit" (have [paper param])`},
+		{"newer version", Artifact{V: 99, Kind: KindParam, Params: &params}, "artifact version 99 is newer"},
+		{"missing version", Artifact{Kind: KindPaper}, "no schema version"},
+		{"param without params", Artifact{V: 1, Kind: KindParam}, `kind "param" requires params`},
+		{"paper with params", Artifact{V: 1, Kind: KindPaper, Params: &params}, `kind "paper" takes no params`},
+		{"out of bounds", Artifact{V: 1, Kind: KindParam, Params: &bad}, "param gamma = 99 outside [2, 30]"},
+	}
+	for _, tc := range cases {
+		err := tc.a.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.a)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+
+	if _, err := Parse([]byte(`{"v":1,"kind":"paper","bogus":true}`)); err == nil {
+		t.Error("Parse accepted an unknown field")
+	}
+}
+
+func TestClampAndMutateStayInBounds(t *testing.T) {
+	rng := stats.NewRNG(7)
+	p := DefaultParams()
+	for i := 0; i < 200; i++ {
+		p = mutate(p, 0.5, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("mutation %d left bounds: %v", i, err)
+		}
+	}
+}
+
+func TestPaperArtifactBuilds(t *testing.T) {
+	a := PaperArtifact()
+	pol, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pol.(PaperTrigger); !ok {
+		t.Fatalf("PaperArtifact built %T", pol)
+	}
+}

@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/scenario"
+)
+
+func searchCfg(store results.Store, log *bytes.Buffer) TrainerConfig {
+	return TrainerConfig{
+		Battery: []experiment.Campaign{{
+			Name:          "DS-1-search",
+			Scenario:      scenario.DS1,
+			Mode:          core.ModeSmart,
+			ExpectCrashes: true,
+		}},
+		Runs:        4,
+		Generations: 2,
+		Population:  3,
+		BaseSeed:    99,
+		Store:       store,
+		Log:         log,
+	}
+}
+
+// TestTrainDeterministic: two searches from the same config produce
+// byte-identical artifacts and byte-identical search logs.
+func TestTrainDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		var log bytes.Buffer
+		eng := engine.New(engine.WithWorkers(3))
+		res, err := Train(eng, searchCfg(nil, &log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := res.Artifact.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, log.Bytes()
+	}
+	a1, l1 := run()
+	a2, l2 := run()
+	if !bytes.Equal(a1, a2) {
+		t.Errorf("artifacts differ across identical searches:\n%s\nvs\n%s", a1, a2)
+	}
+	if !bytes.Equal(l1, l2) {
+		t.Errorf("search logs differ across identical searches:\n%s\nvs\n%s", l1, l2)
+	}
+}
+
+// countingStore counts fresh episode appends: a fully resumed search
+// folds stored records and never appends a new one.
+type countingStore struct {
+	*results.MemStore
+	appends int
+}
+
+func (s *countingStore) Append(ep results.EpisodeRecord) error {
+	s.appends++
+	return s.MemStore.Append(ep)
+}
+
+// TestTrainResume: a second search over a store already holding every
+// evaluation folds the persisted episodes instead of re-running them,
+// and lands on the same artifact.
+func TestTrainResume(t *testing.T) {
+	store := &countingStore{MemStore: results.NewMemStore()}
+	var log1 bytes.Buffer
+	res1, err := Train(engine.New(engine.WithWorkers(2)), searchCfg(store, &log1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.appends == 0 {
+		t.Fatal("first search persisted no episodes")
+	}
+
+	store.appends = 0
+	var log2 bytes.Buffer
+	res2, err := Train(engine.New(engine.WithWorkers(2)), searchCfg(store, &log2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.appends != 0 {
+		t.Errorf("resumed search re-executed %d episodes; want 0", store.appends)
+	}
+	a1, _ := res1.Artifact.Marshal()
+	a2, _ := res2.Artifact.Marshal()
+	if !bytes.Equal(a1, a2) {
+		t.Errorf("resumed search artifact differs:\n%s\nvs\n%s", a1, a2)
+	}
+	if !bytes.Equal(log1.Bytes(), log2.Bytes()) {
+		t.Error("resumed search log differs from the original")
+	}
+}
+
+// TestTrainRejectsBadBattery covers the config gates.
+func TestTrainRejectsBadBattery(t *testing.T) {
+	eng := engine.New()
+	if _, err := Train(eng, TrainerConfig{}); err == nil {
+		t.Error("empty battery accepted")
+	}
+	cfg := TrainerConfig{Battery: []experiment.Campaign{{
+		Name: "golden", Scenario: scenario.DS1, Mode: 0,
+	}}}
+	if _, err := Train(eng, cfg); err == nil {
+		t.Error("non-smart battery campaign accepted")
+	}
+}
+
+// TestSeedDerivationDistinct: evaluation and mutation streams never
+// collide across a realistic search envelope.
+func TestSeedDerivationDistinct(t *testing.T) {
+	seen := map[int64][2]int{}
+	for gen := 0; gen < 20; gen++ {
+		for cand := 0; cand < 32; cand++ {
+			for _, s := range []int64{EvalSeed(7, gen, cand), mutationSeed(7, gen, cand)} {
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d) vs %v -> %d", gen, cand, prev, s)
+				}
+				seen[s] = [2]int{gen, cand}
+			}
+		}
+	}
+}

@@ -61,11 +61,19 @@ func ExecuteRequest(eng *engine.Engine, req Request, oracles map[core.Vector]cor
 		g, err := experiment.RunGoldenOn(eng, src, req.Runs, req.Seed, opts...)
 		return g.CampaignRecord, err
 	}
+	var pol core.TriggerPolicy
+	if req.Policy != nil {
+		pol, err = req.Policy.Build()
+		if err != nil {
+			return results.CampaignRecord{}, err
+		}
+	}
 	c := experiment.Campaign{
 		Name:          name,
 		Scenario:      src,
 		Mode:          mode,
 		ExpectCrashes: true,
+		Policy:        pol,
 	}
 	r, err := experiment.RunCampaignOn(eng, c, req.Runs, req.Seed, oracles, opts...)
 	return r.CampaignRecord, err

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/policy"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
 )
@@ -27,6 +28,11 @@ type Request struct {
 
 	// Mode is golden | smart | nosh | random.
 	Mode string `json:"mode"`
+	// Policy is an inline attack-policy artifact for smart-mode runs:
+	// queued and remote workers evaluate the policy instead of the
+	// built-in fixed trigger. Journaled verbatim like Spec, so a
+	// policy-driven job survives restarts with no registry state.
+	Policy *policy.Artifact `json:"policy,omitempty"`
 	// Name keys the persisted records (default "<scenario>-<mode>").
 	Name string `json:"name,omitempty"`
 	Runs int    `json:"runs"`
@@ -58,11 +64,20 @@ func ParseMode(s string) (core.Mode, error) {
 // and well-formed. It is the POST-time gate — a journaled job is
 // always executable.
 func (r *Request) Validate() error {
-	if _, err := ParseMode(r.Mode); err != nil {
+	mode, err := ParseMode(r.Mode)
+	if err != nil {
 		return err
 	}
 	if r.Runs <= 0 {
 		return fmt.Errorf("runs must be positive, got %d", r.Runs)
+	}
+	if r.Policy != nil {
+		if mode != core.ModeSmart {
+			return fmt.Errorf("policy artifacts apply to smart-mode runs only (mode %q)", r.Mode)
+		}
+		if err := r.Policy.Validate(); err != nil {
+			return err
+		}
 	}
 	n := 0
 	if r.Scenario != "" {

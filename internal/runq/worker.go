@@ -39,10 +39,24 @@ type Worker struct {
 	Oracles map[core.Vector]core.Oracle
 	// Poll is how long to sleep when the queue is empty (default 1s).
 	Poll time.Duration
+	// BackoffBase and BackoffMax bound the jittered exponential
+	// backoff applied after consecutive lease/heartbeat HTTP failures:
+	// the first retry waits ~BackoffBase (default 100ms), doubling per
+	// failure up to BackoffMax (default 5s), and one success resets it.
+	// A restarting server is not hammered by a fleet of reconnecting
+	// workers — the jitter spreads their retries out.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
 	// Logf receives progress and error lines (default: discard).
 	Logf func(format string, args ...any)
+
+	// sleep is the interruptible wait, overridable in tests.
+	sleep func(ctx context.Context, d time.Duration) bool
+	// jitter is the backoff's randomness source, overridable in tests
+	// (returns a uniform draw in [0,1)).
+	jitter func() float64
 }
 
 func (w *Worker) client() *http.Client {
@@ -58,16 +72,60 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
+// backoffDelay returns the wait before the n-th consecutive retry
+// (n >= 1): BackoffBase doubled per failure, capped at BackoffMax,
+// with the final wait jittered uniformly over [d/2, d) so retrying
+// workers desynchronize.
+func (w *Worker) backoffDelay(n int) time.Duration {
+	base, max := w.BackoffBase, w.BackoffMax
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	rnd := w.jitter
+	if rnd == nil {
+		rnd = func() float64 { return float64(time.Now().UnixNano()%1000) / 1000 }
+	}
+	return d/2 + time.Duration(rnd()*float64(d/2))
+}
+
+// wait sleeps for d or until ctx is cancelled; false means cancelled.
+func (w *Worker) wait(ctx context.Context, d time.Duration) bool {
+	if w.sleep != nil {
+		return w.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // Run leases and executes jobs until ctx is cancelled. A job in
 // flight at cancellation is aborted and handed back to the queue
 // (fail with requeue), so another worker — or the server's own
-// dispatcher — resumes it from the store's episodes. Returns nil on
-// a clean shutdown.
+// dispatcher — resumes it from the store's episodes. Lease failures
+// (an unreachable or erroring server) retry under jittered exponential
+// backoff instead of the flat poll interval. Returns nil on a clean
+// shutdown.
 func (w *Worker) Run(ctx context.Context) error {
 	poll := w.Poll
 	if poll <= 0 {
 		poll = time.Second
 	}
+	fails := 0
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -77,15 +135,20 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		}
 		if err != nil {
-			w.logf("worker %s: %v", w.Name, err)
+			fails++
+			d := w.backoffDelay(fails)
+			w.logf("worker %s: %v (retry in %v)", w.Name, err, d)
+			if !w.wait(ctx, d) {
+				return nil
+			}
+			continue
 		}
-		if ran && err == nil {
+		fails = 0
+		if ran {
 			continue // drain the queue without sleeping
 		}
-		select {
-		case <-ctx.Done():
+		if !w.wait(ctx, poll) {
 			return nil
-		case <-time.After(poll):
 		}
 	}
 }
@@ -191,12 +254,16 @@ func (r *run) loseLease() {
 // heartbeat extends the lease every ttl/3 until stop closes, aborting
 // the run if the server says the lease is gone (requeued after a
 // missed beat, cancelled by a client, or taken by another worker).
+// Failed beats retry under the worker's jittered exponential backoff —
+// never sooner than the regular interval — so a down server isn't
+// hammered while the lease may still survive.
 func (r *run) heartbeat(ctx context.Context, ttl time.Duration, stop <-chan struct{}) {
 	interval := ttl / 3
 	if interval < 20*time.Millisecond {
 		interval = 20 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
+	fails := 0
+	t := time.NewTimer(interval)
 	defer t.Stop()
 	for {
 		select {
@@ -205,17 +272,26 @@ func (r *run) heartbeat(ctx context.Context, ttl time.Duration, stop <-chan stru
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			hb := HeartbeatRequest{Worker: r.w.Name, Done: int(r.done.Load()), Total: int(r.total.Load())}
-			status, err := r.w.postJSON(ctx, fmt.Sprintf("/runs/%d/heartbeat", r.jobID), hb, nil)
-			if err != nil {
-				r.w.logf("worker %s: job %d: heartbeat: %v", r.w.Name, r.jobID, err)
-				continue // transient; the lease may still survive
-			}
-			if status == http.StatusConflict || status == http.StatusNotFound {
-				r.loseLease()
-				return
+		}
+		hb := HeartbeatRequest{Worker: r.w.Name, Done: int(r.done.Load()), Total: int(r.total.Load())}
+		status, err := r.w.postJSON(ctx, fmt.Sprintf("/runs/%d/heartbeat", r.jobID), hb, nil)
+		switch {
+		case err != nil:
+			fails++ // transient; the lease may still survive
+			r.w.logf("worker %s: job %d: heartbeat: %v", r.w.Name, r.jobID, err)
+		case status == http.StatusConflict || status == http.StatusNotFound:
+			r.loseLease()
+			return
+		default:
+			fails = 0
+		}
+		next := interval
+		if fails > 0 {
+			if d := r.w.backoffDelay(fails); d > next {
+				next = d
 			}
 		}
+		t.Reset(next)
 	}
 }
 

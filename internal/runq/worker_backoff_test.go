@@ -1,0 +1,222 @@
+package runq
+
+// Internal test: drives Worker.Run against a flaky httptest server and
+// observes the injected sleep/jitter hooks, which the external suite
+// (queue_test.go) cannot reach.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyServer is a minimal lease endpoint: the first failLeases lease
+// attempts return 500, the next hands out one tiny smart-mode job, and
+// the rest 204. Heartbeats, episode appends and completion always
+// succeed.
+type flakyServer struct {
+	failLeases int
+
+	mu        sync.Mutex
+	leases    int
+	completed bool
+}
+
+func (s *flakyServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.leases++
+		switch {
+		case s.leases <= s.failLeases:
+			http.Error(w, "queue restarting", http.StatusInternalServerError)
+		case s.leases == s.failLeases+1:
+			resp := LeaseResponse{
+				Job: Job{
+					ID:      1,
+					Request: Request{Scenario: "DS-1", Mode: "smart", Runs: 2, Seed: 5},
+					Total:   2,
+					Attempt: 1,
+				},
+				LeaseTTLMillis: 10_000,
+			}
+			json.NewEncoder(w).Encode(resp)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	ok := func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) }
+	mux.HandleFunc("/runs/1/heartbeat", ok)
+	mux.HandleFunc("/runs/1/episodes", ok)
+	mux.HandleFunc("/runs/1/complete", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.completed = true
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// TestWorkerBackoffOnFlakyServer: a worker facing a server that fails
+// its first lease attempts retries under growing, capped backoff and
+// still completes the job once the server recovers.
+func TestWorkerBackoffOnFlakyServer(t *testing.T) {
+	srv := &flakyServer{failLeases: 8}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	w := &Worker{
+		Server:      ts.URL,
+		Name:        "flaky-test",
+		Workers:     1,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  time.Second,
+		jitter:      func() float64 { return 0.5 },
+		sleep: func(ctx context.Context, d time.Duration) bool {
+			mu.Lock()
+			sleeps = append(sleeps, d)
+			mu.Unlock()
+			// No real sleeping: the test observes the durations only.
+			return ctx.Err() == nil
+		},
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	// The worker is done once the job completes and it goes back to
+	// idle polling (a sleep of exactly the poll interval, 1s default,
+	// can't be a backoff here: the cap is 1s and jitter 0.5 keeps
+	// backoffs at 3/4 of their step).
+	deadline := time.After(10 * time.Second)
+	for {
+		srv.mu.Lock()
+		completed := srv.completed
+		srv.mu.Unlock()
+		if completed {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never completed against the flaky server")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// With jitter pinned at 0.5 every backoff is exactly 3/4 of its
+	// step: 75ms, 150ms, 300ms, 600ms, then capped at 750ms.
+	want := []time.Duration{
+		75 * time.Millisecond,
+		150 * time.Millisecond,
+		300 * time.Millisecond,
+		600 * time.Millisecond,
+		750 * time.Millisecond,
+		750 * time.Millisecond,
+		750 * time.Millisecond,
+		750 * time.Millisecond,
+	}
+	if len(sleeps) < len(want) {
+		t.Fatalf("recorded %d sleeps, want at least %d: %v", len(sleeps), len(want), sleeps)
+	}
+	for i, d := range want {
+		if sleeps[i] != d {
+			t.Errorf("backoff %d: slept %v, want %v (doubling from base, capped)", i+1, sleeps[i], d)
+		}
+	}
+	// After the failures stop, the counter resets: the remaining sleeps
+	// are idle polls at the flat interval, not residual backoff.
+	for i := len(want); i < len(sleeps); i++ {
+		if sleeps[i] != time.Second {
+			t.Errorf("post-recovery sleep %d is %v, want the 1s poll interval (backoff not reset)", i, sleeps[i])
+		}
+	}
+}
+
+// TestBackoffDelayBounds checks the raw schedule: growth, cap, and
+// jitter staying within [d/2, d).
+func TestBackoffDelayBounds(t *testing.T) {
+	w := &Worker{BackoffBase: 100 * time.Millisecond, BackoffMax: 5 * time.Second}
+	prevHi := time.Duration(0)
+	for n := 1; n <= 10; n++ {
+		step := 100 * time.Millisecond << (n - 1)
+		if step > 5*time.Second || step <= 0 {
+			step = 5 * time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := w.backoffDelay(n)
+			if d < step/2 || d >= step {
+				t.Fatalf("n=%d: delay %v outside [%v, %v)", n, d, step/2, step)
+			}
+		}
+		if step < prevHi {
+			t.Fatalf("n=%d: schedule shrank", n)
+		}
+		prevHi = step
+	}
+}
+
+// TestBackoffLogMentionsRetry: the retry wait is visible in the worker
+// log, so an operator watching a worker sees why it has gone quiet.
+func TestBackoffLogMentionsRetry(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var logs []string
+	var mu sync.Mutex
+	calls := 0
+	w := &Worker{
+		Server: ts.URL,
+		Name:   "logtest",
+		jitter: func() float64 { return 0 },
+		sleep: func(context.Context, time.Duration) bool {
+			mu.Lock()
+			calls++
+			stop := calls >= 3
+			mu.Unlock()
+			if stop {
+				cancel()
+				return false
+			}
+			return true
+		},
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logs = append(logs, strings.TrimSpace(format))
+			mu.Unlock()
+		},
+	}
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "retry in") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no log line mentions the retry wait; got %v", logs)
+	}
+}

@@ -1,0 +1,173 @@
+// Command benchguard enforces per-benchmark ns/op budgets in CI: it
+// parses `go test -bench` output and compares each benchmark's best
+// (minimum) ns/op across -count repetitions against the committed
+// budget file (BENCH_after.json), failing when any benchmark regresses
+// beyond the tolerance.
+//
+// The budget numbers were measured on a different machine than CI, so
+// the default tolerance is generous (25%): the guard catches order-of-
+// magnitude regressions — an accidental allocation in the frame loop, a
+// pipeline rebuilt per episode — not scheduler noise. Taking the
+// minimum across repetitions filters the noise further: the best rep
+// is the least-interfered-with one.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime=1x -count=5 ./... | tee bench.txt
+//	go run ./scripts/benchguard -budget BENCH_after.json bench.txt
+//	go run ./scripts/benchguard -budget BENCH_after.json -tolerance 50 bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	budgetPath := fs.String("budget", "BENCH_after.json", "committed budget file")
+	tolerance := fs.Float64("tolerance", 25, "allowed ns/op regression over budget, in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: benchguard [-budget file] [-tolerance pct] bench-results.txt")
+	}
+
+	budgets, err := loadBudgets(*budgetPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	measured, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+
+	report, ok := compare(budgets, measured, *tolerance)
+	fmt.Fprint(w, report)
+	if !ok {
+		return fmt.Errorf("benchmark budget exceeded (tolerance %.0f%%)", *tolerance)
+	}
+	return nil
+}
+
+// budgetFile mirrors the committed BENCH_after.json shape; fields this
+// guard doesn't budget on are ignored.
+type budgetFile struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func loadBudgets(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf budgetFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(bf.Benchmarks))
+	for _, b := range bf.Benchmarks {
+		if b.NsPerOp > 0 {
+			out[b.Name] = b.NsPerOp
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no ns_per_op budgets found", path)
+	}
+	return out, nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFrame-4   242504   4895 ns/op   0 B/op   0 allocs/op
+//
+// The -N suffix is GOMAXPROCS, not part of the benchmark's identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts the minimum ns/op per benchmark name across all
+// repetitions in r.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// compare renders one line per budgeted benchmark and reports whether
+// all measured ones stayed within tolerance. Budgeted benchmarks
+// missing from the results are listed but don't fail the run — CI may
+// legitimately run a subset.
+func compare(budgets, measured map[string]float64, tolerancePct float64) (string, bool) {
+	var b strings.Builder
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	// Stable report order: the budget file's map has no order, sort.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	ok := true
+	for _, name := range names {
+		budget := budgets[name]
+		got, ran := measured[name]
+		if !ran {
+			fmt.Fprintf(&b, "SKIP %-40s budget %12.0f ns/op (not in results)\n", name, budget)
+			continue
+		}
+		pct := (got - budget) / budget * 100
+		status := "ok  "
+		if pct > tolerancePct {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(&b, "%s %-40s budget %12.0f ns/op  got %12.0f ns/op  (%+.1f%%)\n",
+			status, name, budget, got, pct)
+	}
+	return b.String(), ok
+}

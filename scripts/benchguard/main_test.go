@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/robotack/robotack
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFrame-4          	  242504	      5200 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFrame-4          	  242504	      4901 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFrame-4          	  242504	      6100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEpisode/golden-DS1-4  	     400	   3100000 ns/op	         334.6 episodes/s
+BenchmarkEpisode/golden-DS1-4  	     400	   2990000 ns/op	         334.6 episodes/s
+PASS
+ok  	github.com/robotack/robotack	12.3s
+`
+
+func TestParseBenchMinAcrossReps(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFrame":              4901,
+		"BenchmarkEpisode/golden-DS1": 2990000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s: got %v ns/op, want %v (minimum across reps, -N suffix stripped)", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Error("no benchmark lines should be an error, not a silent pass")
+	}
+}
+
+func TestCompareWithinAndBeyondTolerance(t *testing.T) {
+	budgets := map[string]float64{
+		"BenchmarkFrame":   4895,
+		"BenchmarkEpisode": 3_000_000,
+		"BenchmarkUnrun":   100,
+	}
+	measured := map[string]float64{
+		"BenchmarkFrame":   5800,      // +18.5%: within 25%
+		"BenchmarkEpisode": 4_000_000, // +33%: beyond
+	}
+	report, ok := compare(budgets, measured, 25)
+	if ok {
+		t.Errorf("a +33%% regression passed a 25%% tolerance:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL BenchmarkEpisode") {
+		t.Errorf("report does not flag the regressing benchmark:\n%s", report)
+	}
+	if !strings.Contains(report, "ok   BenchmarkFrame") {
+		t.Errorf("report does not pass the in-budget benchmark:\n%s", report)
+	}
+	if !strings.Contains(report, "SKIP BenchmarkUnrun") {
+		t.Errorf("report does not note the benchmark missing from results:\n%s", report)
+	}
+
+	if _, ok := compare(budgets, measured, 50); !ok {
+		t.Error("a +33% regression should pass a 50% tolerance")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	budget := filepath.Join(dir, "budget.json")
+	results := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(budget, []byte(`{"benchmarks":[{"name":"BenchmarkFrame","ns_per_op":4895}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(results, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run(&out, []string{"-budget", budget, results}); err != nil {
+		t.Errorf("in-budget run failed: %v\n%s", err, out.String())
+	}
+
+	// Squeeze the tolerance until the same numbers regress.
+	out.Reset()
+	if err := run(&out, []string{"-budget", budget, "-tolerance", "0", results}); err == nil {
+		t.Errorf("0%% tolerance accepted a slower result:\n%s", out.String())
+	}
+}
