@@ -37,11 +37,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/policy"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
@@ -71,8 +73,28 @@ func run() error {
 		compare      = flag.String("compare", "", "diff this JSONL store against -out and exit (no campaigns run)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
+		ftdcPath     = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
+		ftdcEvery    = flag.Duration("ftdc-interval", time.Second, "FTDC snapshot interval")
+		logCfg       obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+
+	if *ftdcPath != "" {
+		capture, err := obs.StartCapture(obs.Default, *ftdcPath, *ftdcEvery)
+		if err != nil {
+			return fmt.Errorf("ftdc capture: %w", err)
+		}
+		defer func() {
+			if err := capture.Stop(); err != nil {
+				logger.Warn("ftdc capture stop", "err", err)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -90,13 +112,13 @@ func run() error {
 		defer func() {
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "robotack-campaign: -memprofile:", err)
+				logger.Error("-memprofile", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // materialize the end-of-sweep live set
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "robotack-campaign: -memprofile:", err)
+				logger.Error("-memprofile", "err", err)
 			}
 		}()
 	}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/obs"
 )
 
 func main() {
@@ -36,12 +37,19 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "seed")
 		workers = flag.Int("workers", engine.DefaultWorkers(), "parallel segment workers")
 		out     = flag.String("out", "", "write the characterization (distribution fits) as JSON")
+		logCfg  obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	eng := engine.New(engine.WithWorkers(*workers), engine.WithContext(ctx))
+	logger.Debug("characterization starting", "frames", *frames, "seed", *seed, "workers", eng.Workers())
 
 	c, err := experiment.CharacterizeOn(eng, *frames, *seed)
 	if err != nil {

@@ -1,0 +1,68 @@
+// Command robotack-ftdc decodes a binary FTDC metrics capture (written
+// by robotack-serve/-worker/-campaign/-search with -ftdc) back into
+// JSONL: one line per snapshot with the unix-nanosecond timestamp and
+// every series value at that instant. The output pipes cleanly into jq
+// for post-mortem analysis of a crashed or misbehaving process.
+//
+// Usage:
+//
+//	robotack-ftdc serve.ftdc
+//	robotack-ftdc serve.ftdc | jq '.metrics.robotack_runq_queue_depth'
+//	robotack-ftdc -last serve.ftdc   # only the final snapshot
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/robotack/robotack/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robotack-ftdc:", err)
+		os.Exit(1)
+	}
+}
+
+// line is the JSONL shape: a stable field order (ts first) and the
+// metrics as one object, so jq paths stay short.
+type line struct {
+	TS      int64              `json:"ts"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func run() error {
+	last := flag.Bool("last", false, "print only the final snapshot")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: robotack-ftdc [-last] <capture-file>")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snaps, err := obs.Decode(f)
+	if err != nil {
+		return err
+	}
+	if *last && len(snaps) > 1 {
+		snaps = snaps[len(snaps)-1:]
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for _, s := range snaps {
+		// encoding/json emits map keys sorted, so the lines are stable.
+		if err := enc.Encode(line{TS: s.TS, Metrics: s.Metrics}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

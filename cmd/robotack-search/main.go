@@ -28,11 +28,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/policy"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
@@ -59,12 +61,32 @@ func run() error {
 		out         = flag.String("out", "trained-policy.json", "write the best candidate's policy artifact here")
 		storePath   = flag.String("store", "", "persist candidate evaluations to this JSONL store and resume them on re-run")
 		logPath     = flag.String("log", "", "write the byte-reproducible JSONL search log here")
+		ftdcPath    = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
+		ftdcEvery   = flag.Duration("ftdc-interval", time.Second, "FTDC snapshot interval")
+		logCfg      obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	battery, err := parseBattery(*scenarios)
 	if err != nil {
 		return err
+	}
+
+	if *ftdcPath != "" {
+		capture, err := obs.StartCapture(obs.Default, *ftdcPath, *ftdcEvery)
+		if err != nil {
+			return fmt.Errorf("ftdc capture: %w", err)
+		}
+		defer func() {
+			if err := capture.Stop(); err != nil {
+				logger.Warn("ftdc capture stop", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -74,7 +96,7 @@ func run() error {
 		engine.WithWorkers(*workers),
 		engine.WithContext(ctx),
 	)
-	fmt.Printf("engine: %d workers\n", eng.Workers())
+	logger.Info("engine ready", "workers", eng.Workers())
 
 	cfg := policy.TrainerConfig{
 		Battery:     battery,
@@ -84,12 +106,12 @@ func run() error {
 		Sigma:       *sigma,
 		BaseSeed:    *seed,
 		Progress: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			logger.Info(fmt.Sprintf(format, args...))
 		},
 	}
 
 	if *train {
-		fmt.Println("training safety-hijacker oracles (paper §IV-B)...")
+		logger.Info("training safety-hijacker oracles (paper §IV-B)")
 		oracles, _, err := experiment.TrainOraclesOn(eng,
 			experiment.DefaultOracleSpecs(), *seed+50_000, nn.DefaultTrainConfig())
 		if err != nil {
@@ -105,7 +127,7 @@ func run() error {
 		}
 		defer store.Close()
 		cfg.Store = store
-		fmt.Printf("evaluation store: %s (resumable)\n", *storePath)
+		logger.Info("evaluation store open", "store", *storePath, "resumable", true)
 	}
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
@@ -123,7 +145,7 @@ func run() error {
 	if trainErr != nil {
 		// Interrupted mid-search: keep the best candidate found so far
 		// (re-running with -store picks up where this left off).
-		fmt.Fprintf(os.Stderr, "search stopped early: %v\n", trainErr)
+		logger.Warn("search stopped early", "err", trainErr)
 	}
 
 	fmt.Printf("best: gen %d cand %d  fitness %.4f  (EB %d/%d, crash %d)\n",

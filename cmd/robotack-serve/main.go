@@ -26,8 +26,11 @@
 //	robotack-serve -store results.jsonl
 //	robotack-serve -store results.jsonl -queue-dir queue/ -max-concurrent 2
 //	robotack-serve -store results.jsonl -addr :9090 -workers 4 -lease-ttl 30s
+//	robotack-serve -store results.jsonl -log-level debug -log-json
+//	robotack-serve -store results.jsonl -pprof -ftdc serve.ftdc
 //	curl -s -X POST localhost:8077/runs -d '{"scenario":"DS-2","mode":"smart","runs":20,"seed":300}'
 //	curl -N localhost:8077/runs/1/events
+//	curl -s localhost:8077/metrics
 //
 // On SIGINT/SIGTERM the server stops leasing, cancels in-flight jobs
 // (journaling them as queued so a restart resumes them), flushes the
@@ -47,6 +50,7 @@ import (
 
 	"github.com/robotack/robotack/internal/campaignd"
 	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/runq"
 )
@@ -66,10 +70,23 @@ func run() error {
 		queueDir  = flag.String("queue-dir", "", "directory for the durable run-queue journal (empty: in-memory queue, lost on restart)")
 		maxConc   = flag.Int("max-concurrent", 1, "how many queued runs execute locally at once (0: remote workers only)")
 		leaseTTL  = flag.Duration("lease-ttl", 30*time.Second, "remote-worker lease duration; a missed heartbeat requeues the job")
+		metrics   = flag.Bool("metrics", true, "record metrics and serve Prometheus text at GET /metrics")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		ftdcPath  = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
+		ftdcEvery = flag.Duration("ftdc-interval", time.Second, "FTDC snapshot interval")
+		logCfg    obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *storePath == "" {
 		return fmt.Errorf("-store is required")
+	}
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	if !*metrics {
+		obs.SetEnabled(false)
 	}
 
 	store, err := results.Open(*storePath)
@@ -86,21 +103,37 @@ func run() error {
 	queue, err := runq.Open(*queueDir,
 		runq.WithMaxConcurrent(*maxConc),
 		runq.WithLeaseTTL(*leaseTTL),
-		runq.WithLog(func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}),
+		runq.WithLogger(logger),
 	)
 	if err != nil {
 		return err
 	}
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: campaignd.New(store,
-			campaignd.WithWorkers(*workers),
-			campaignd.WithQueue(queue),
-		),
+	if *ftdcPath != "" {
+		capture, err := obs.StartCapture(obs.Default, *ftdcPath, *ftdcEvery)
+		if err != nil {
+			return fmt.Errorf("ftdc capture: %w", err)
+		}
+		defer func() {
+			if err := capture.Stop(); err != nil {
+				logger.Warn("ftdc capture stop", "err", err)
+			}
+		}()
 	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", campaignd.New(store,
+		campaignd.WithWorkers(*workers),
+		campaignd.WithQueue(queue),
+		campaignd.WithLogger(logger),
+	))
+	if *metrics {
+		mux.Handle("GET /metrics", obs.Handler(obs.Default))
+	}
+	if *pprofOn {
+		obs.RegisterPprof(mux)
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -115,8 +148,10 @@ func run() error {
 	if durable == "" {
 		durable = "in-memory"
 	}
-	fmt.Printf("serving %s on %s (queue: %s, %d local slots, %d workers/run, lease %s)\n",
-		*storePath, *addr, durable, *maxConc, *workers, *leaseTTL)
+	logger.Info("serving",
+		"store", *storePath, "addr", *addr, "queue", durable,
+		"local_slots", *maxConc, "workers_per_run", *workers, "lease_ttl", *leaseTTL,
+		"metrics", *metrics, "pprof", *pprofOn)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -125,7 +160,7 @@ func run() error {
 	// leases can arrive, in-flight jobs are cancelled and journaled as
 	// queued, and the journal is flushed — a restart with the same
 	// -queue-dir picks them all up again.
-	fmt.Println("shutting down: draining run queue")
+	logger.Info("shutting down: draining run queue")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := queue.Shutdown(drainCtx); err != nil {
@@ -135,6 +170,6 @@ func run() error {
 	if err := store.Close(); err != nil {
 		return err
 	}
-	fmt.Println("shutdown complete")
+	logger.Info("shutdown complete")
 	return nil
 }

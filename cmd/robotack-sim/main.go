@@ -26,6 +26,7 @@ import (
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
@@ -49,8 +50,14 @@ func run() error {
 		vector       = flag.String("vector", "", "steer Table I's Move_Out/Disappear choice: disappear-vehicles | disappear-pedestrians")
 		seed         = flag.Int64("seed", 1, "episode seed")
 		out          = flag.String("out", "", "append the episode's record to this JSONL results store")
+		logCfg       obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	if *list {
 		for _, name := range scenegen.Names() {
@@ -96,6 +103,7 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	eng := engine.New(engine.WithWorkers(1), engine.WithContext(ctx))
+	logger.Debug("episode starting", "scenario", src.Label(), "mode", *mode, "seed", *seed)
 
 	// A one-job batch: the additive derivation hands the job exactly
 	// the -seed value.

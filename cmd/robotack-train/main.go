@@ -25,6 +25,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/obs"
 )
 
 func main() {
@@ -41,12 +42,19 @@ func run() error {
 		out     = flag.String("out", "", "directory to save model JSON files (optional)")
 		report  = flag.String("report", "", "write the per-vector training report (samples, MSE/MAE) as JSON")
 		workers = flag.Int("workers", engine.DefaultWorkers(), "parallel episode workers")
+		logCfg  obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	eng := engine.New(engine.WithWorkers(*workers), engine.WithContext(ctx))
+	logger.Debug("oracle training starting", "seed", *seed, "epochs", *epochs, "workers", eng.Workers())
 
 	cfg := nn.DefaultTrainConfig()
 	cfg.Epochs = *epochs

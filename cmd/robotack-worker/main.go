@@ -14,6 +14,8 @@
 //	robotack-worker -server http://queuehost:8077 -name rack7 -workers 8
 //	robotack-worker -server http://queuehost:8077 -poll 2s
 //	robotack-worker -server http://queuehost:8077 -batch 64
+//	robotack-worker -server http://queuehost:8077 -metrics :9100 -pprof
+//	robotack-worker -server http://queuehost:8077 -log-json -ftdc worker.ftdc
 //
 // On SIGINT/SIGTERM the worker stops leasing, aborts its in-flight
 // job and hands it back to the queue (fail with requeue), then exits 0.
@@ -21,14 +23,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/runq"
 )
 
@@ -45,12 +50,18 @@ func run() error {
 		host = "worker"
 	}
 	var (
-		server  = flag.String("server", "", "robotack-serve base URL, e.g. http://host:8077")
-		name    = flag.String("name", fmt.Sprintf("%s-%d", host, os.Getpid()), "worker name reported in leases")
-		workers = flag.Int("workers", engine.DefaultWorkers(), "engine workers per job")
-		poll    = flag.Duration("poll", time.Second, "sleep between leases when the queue is empty")
-		batch   = flag.Int("batch", runq.DefaultEpisodeBatch, "completed episodes buffered per episode-stream POST")
+		server    = flag.String("server", "", "robotack-serve base URL, e.g. http://host:8077")
+		name      = flag.String("name", fmt.Sprintf("%s-%d", host, os.Getpid()), "worker name reported in leases")
+		workers   = flag.Int("workers", engine.DefaultWorkers(), "engine workers per job")
+		poll      = flag.Duration("poll", time.Second, "sleep between leases when the queue is empty")
+		batch     = flag.Int("batch", runq.DefaultEpisodeBatch, "completed episodes buffered per episode-stream POST")
+		metrics   = flag.String("metrics", "", "serve Prometheus text at GET /metrics on this address, e.g. :9100 (empty: no metrics server)")
+		pprofOn   = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ (needs -metrics)")
+		ftdcPath  = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
+		ftdcEvery = flag.Duration("ftdc-interval", time.Second, "FTDC snapshot interval")
+		logCfg    obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *server == "" {
 		return fmt.Errorf("-server is required")
@@ -58,9 +69,47 @@ func run() error {
 	if *batch < 1 {
 		return fmt.Errorf("-batch must be >= 1 (got %d)", *batch)
 	}
+	if *pprofOn && *metrics == "" {
+		return fmt.Errorf("-pprof needs -metrics to provide the listen address")
+	}
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", obs.Handler(obs.Default))
+		if *pprofOn {
+			obs.RegisterPprof(mux)
+		}
+		msrv := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics server failed", "addr", *metrics, "err", err)
+			}
+		}()
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = msrv.Shutdown(shutCtx)
+		}()
+	}
+
+	if *ftdcPath != "" {
+		capture, err := obs.StartCapture(obs.Default, *ftdcPath, *ftdcEvery)
+		if err != nil {
+			return fmt.Errorf("ftdc capture: %w", err)
+		}
+		defer func() {
+			if err := capture.Stop(); err != nil {
+				logger.Warn("ftdc capture stop", "err", err)
+			}
+		}()
+	}
 
 	w := &runq.Worker{
 		Server:  *server,
@@ -68,14 +117,14 @@ func run() error {
 		Workers: *workers,
 		Poll:    *poll,
 		Batch:   *batch,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Log:     logger,
 	}
-	fmt.Printf("worker %s: leasing from %s (%d engine workers)\n", *name, *server, *workers)
+	logger.Info("worker starting",
+		"worker", *name, "server", *server, "engine_workers", *workers,
+		"metrics", *metrics, "pprof", *pprofOn)
 	if err := w.Run(ctx); err != nil {
 		return err
 	}
-	fmt.Printf("worker %s: shut down\n", *name)
+	logger.Info("worker shut down", "worker", *name)
 	return nil
 }

@@ -236,6 +236,83 @@ func TestServeSSECancelMidRun(t *testing.T) {
 	}
 }
 
+// readFirstSSE returns the first event on a stream — the snapshot sent
+// on subscribe.
+func readFirstSSE(t *testing.T, body *bufio.Scanner) runq.Event {
+	t.Helper()
+	for body.Scan() {
+		line := body.Text()
+		if strings.HasPrefix(line, "data: ") {
+			var ev runq.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			return ev
+		}
+	}
+	t.Fatal("SSE stream ended before any event")
+	return runq.Event{}
+}
+
+// TestServeSSEDerivedTelemetry: progress events carry derived
+// telemetry — a queued run's 1-based position behind the busy local
+// slot, and a running job's episodes/sec estimate once progress
+// reports land. Both are computed from live queue state, never
+// journaled.
+func TestServeSSEDerivedTelemetry(t *testing.T) {
+	exec := newStepExec()
+	ts := newTestServer(t, results.NewMemStore(), WithExecutor(exec))
+
+	st1 := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"telemetry-a","runs":3,"seed":1}`)
+	<-exec.started // the single local slot is now busy
+
+	st2 := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"telemetry-b","runs":2,"seed":2}`)
+	resp2, err := http.Get(fmt.Sprintf("%s/runs/%d/events", ts.URL, st2.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := readFirstSSE(t, bufio.NewScanner(resp2.Body))
+	resp2.Body.Close()
+	if snap.State != runq.StateQueued {
+		t.Fatalf("second run state = %v, want queued behind the busy slot", snap.State)
+	}
+	if snap.QueuePos != 1 {
+		t.Errorf("queued run's queue_pos = %d, want 1 (first in line)", snap.QueuePos)
+	}
+
+	resp1, err := http.Get(fmt.Sprintf("%s/runs/%d/events", ts.URL, st1.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp1.Body.Close()
+	done := make(chan []sseEvent, 1)
+	go func() { done <- readSSE(t, bufio.NewScanner(resp1.Body)) }()
+	for i := 0; i < 3; i++ {
+		// Space the episodes out so the rate estimator sees measurable
+		// inter-report gaps.
+		time.Sleep(2 * time.Millisecond)
+		exec.step <- struct{}{}
+	}
+
+	select {
+	case events := <-done:
+		sawRate := false
+		for _, ev := range events {
+			if ev.Data.EpsPerSec > 0 {
+				sawRate = true
+				if ev.Data.State != runq.StateRunning {
+					t.Errorf("eps_per_sec on a %v event; the estimate is for running jobs", ev.Data.State)
+				}
+			}
+		}
+		if !sawRate {
+			t.Errorf("no progress event carried eps_per_sec > 0; events: %+v", events)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream never finished the first run")
+	}
+}
+
 // TestWorkerProtocol drives the lease/heartbeat/episodes/complete/fail
 // endpoints directly, as a remote worker would.
 func TestWorkerProtocol(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -23,9 +24,19 @@ import (
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/runq"
 )
+
+// httpSeconds returns the request-latency histogram series for one
+// registered route. The label is the mux pattern, so cardinality is
+// fixed by the API surface, not by client-chosen paths.
+func httpSeconds(pattern string) *obs.Histogram {
+	return obs.NewHistogram("robotack_http_request_seconds",
+		"campaignd HTTP request latency by route.",
+		obs.ExpBuckets(1e-4, 4, 10), obs.Label{Key: "route", Value: pattern})
+}
 
 // Server is the HTTP campaign service. Create one with New; it
 // implements http.Handler.
@@ -63,6 +74,7 @@ type Server struct {
 	queue    *runq.Queue
 	ownQueue bool
 	exec     runq.Executor
+	log      *slog.Logger
 	mux      *http.ServeMux
 }
 
@@ -99,12 +111,24 @@ func WithExecutor(exec runq.Executor) Option {
 	return func(s *Server) { s.exec = exec }
 }
 
+// WithLogger sets the server's structured logger for request-level
+// errors (default: discard). The queue's logger is configured
+// separately on the queue itself.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
 // New creates the campaign service over store and starts its queue's
 // dispatcher.
 func New(store results.Store, opts ...Option) *Server {
 	s := &Server{
 		store:   store,
 		workers: engine.DefaultWorkers(),
+		log:     obs.Discard(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -123,23 +147,41 @@ func New(store results.Store, opts ...Option) *Server {
 	s.queue.Start(s.exec)
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /campaigns", s.handleCampaigns)
-	s.mux.HandleFunc("GET /campaigns/{name}", s.handleCampaign)
-	s.mux.HandleFunc("GET /campaigns/{name}/episodes", s.handleEpisodes)
-	s.mux.HandleFunc("GET /campaigns/{name}/summary", s.handleCampaignSummary)
-	s.mux.HandleFunc("GET /summary", s.handleSummary)
-	s.mux.HandleFunc("GET /diff", s.handleDiff)
-	s.mux.HandleFunc("POST /runs", s.handleLaunch)
-	s.mux.HandleFunc("GET /runs", s.handleRuns)
-	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
-	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
-	s.mux.HandleFunc("DELETE /runs/{id}", s.handleRunCancel)
-	s.mux.HandleFunc("POST /lease", s.handleLease)
-	s.mux.HandleFunc("POST /runs/{id}/heartbeat", s.handleHeartbeat)
-	s.mux.HandleFunc("POST /runs/{id}/episodes", s.handleWorkerEpisodes)
-	s.mux.HandleFunc("POST /runs/{id}/complete", s.handleComplete)
-	s.mux.HandleFunc("POST /runs/{id}/fail", s.handleFail)
+	s.handle("GET /campaigns", s.handleCampaigns)
+	s.handle("GET /campaigns/{name}", s.handleCampaign)
+	s.handle("GET /campaigns/{name}/episodes", s.handleEpisodes)
+	s.handle("GET /campaigns/{name}/summary", s.handleCampaignSummary)
+	s.handle("GET /summary", s.handleSummary)
+	s.handle("GET /diff", s.handleDiff)
+	s.handle("POST /runs", s.handleLaunch)
+	s.handle("GET /runs", s.handleRuns)
+	s.handle("GET /runs/{id}", s.handleRun)
+	s.handle("GET /runs/{id}/events", s.handleRunEvents)
+	s.handle("DELETE /runs/{id}", s.handleRunCancel)
+	s.handle("POST /lease", s.handleLease)
+	s.handle("POST /runs/{id}/heartbeat", s.handleHeartbeat)
+	s.handle("POST /runs/{id}/episodes", s.handleWorkerEpisodes)
+	s.handle("POST /runs/{id}/complete", s.handleComplete)
+	s.handle("POST /runs/{id}/fail", s.handleFail)
 	return s
+}
+
+// handle registers a route wrapped with per-route latency recording.
+// The histogram series is created once at registration; the wrapper
+// itself only reads the clock and bumps atomics. SSE streams are the
+// one caveat — their "latency" is the stream's lifetime — which is
+// still useful (it counts open event streams' durations).
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	h := httpSeconds(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if !obs.Enabled() {
+			fn(w, r)
+			return
+		}
+		start := time.Now()
+		fn(w, r)
+		h.Observe(time.Since(start).Seconds())
+	})
 }
 
 // Close shuts down a server-owned queue (no-op when the queue came
@@ -347,9 +389,12 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, runq.ErrClosed) {
 			status = http.StatusServiceUnavailable
 		}
+		s.log.Error("run submission failed", "err", err)
 		writeError(w, status, "%v", err)
 		return
 	}
+	s.log.Info("run accepted", "job", job.ID, "campaign", job.Request.RecordName(),
+		"mode", strings.ToLower(job.Request.Mode), "runs", job.Total)
 	writeJSON(w, http.StatusAccepted, statusOf(job))
 }
 
@@ -428,8 +473,14 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 
 	// The snapshot was taken atomically with the subscription, so the
 	// client always sees the current state first and no event between
-	// subscribe and snapshot is lost.
-	ev := runq.Event{ID: job.ID, State: job.State, Done: job.Done, Total: job.Total, Error: job.Error}
+	// subscribe and snapshot is lost. EventOf re-reads the job, which
+	// may already have advanced past the snapshot — that is fine, the
+	// subscription channel replays anything newer — but it must not be
+	// missing, so fall back to the snapshot on a race with deletion.
+	ev, ok := s.queue.EventOf(job.ID)
+	if !ok {
+		ev = runq.Event{ID: job.ID, State: job.State, Done: job.Done, Total: job.Total, Error: job.Error}
+	}
 	writeSSE(w, ev)
 	fl.Flush()
 	if ev.State.Terminal() {

@@ -17,6 +17,19 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"github.com/robotack/robotack/internal/obs"
+)
+
+// Job-level instrumentation: latency and throughput of individual
+// engine jobs across every batch in the process. Purely observational
+// — seeds remain a function of (baseSeed, index) alone.
+var (
+	jobSeconds = obs.NewHistogram("robotack_engine_job_seconds",
+		"Engine job (episode) wall time.", obs.ExpBuckets(1e-4, 2, 16))
+	jobsTotal = obs.NewCounter("robotack_engine_jobs_total",
+		"Engine jobs completed (including failed).")
 )
 
 // Job is one unit of work — typically a single closed-loop episode.
@@ -205,12 +218,31 @@ func (e *Engine) Stream(baseSeed int64, jobs []Job) <-chan Result {
 		go func() {
 			defer wg.Done()
 			jobCtx := e.ctx
+			var jobObs struct {
+				init    bool
+				seconds obs.HistogramHandle
+				total   obs.CounterHandle
+			}
 			for i := range idx {
 				if e.workerState != nil && jobCtx == e.ctx {
 					jobCtx = context.WithValue(e.ctx, workerStateKey{}, e.workerState())
 				}
 				seed := e.seedFn(baseSeed, i)
+				en := obs.Enabled()
+				var start time.Time
+				if en {
+					if !jobObs.init {
+						jobObs.init = true
+						jobObs.seconds = jobSeconds.Handle()
+						jobObs.total = jobsTotal.Handle()
+					}
+					start = time.Now()
+				}
 				v, err := jobs[i](jobCtx, seed)
+				if en {
+					jobObs.seconds.Observe(time.Since(start).Seconds())
+					jobObs.total.Add(1)
+				}
 				if e.progress != nil {
 					mu.Lock()
 					done++

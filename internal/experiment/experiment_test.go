@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"reflect"
@@ -12,6 +13,7 @@ import (
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
@@ -335,6 +337,44 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 			t.Errorf("workers=%d: aggregate differs from 1-worker run:\n got %+v\nwant %+v",
 				workers, got, want)
 		}
+	}
+}
+
+// TestCampaignMetricsInert: the observability layer never feeds back
+// into results — the same campaign persists byte-identical episode and
+// aggregate records with metrics recording off and on.
+func TestCampaignMetricsInert(t *testing.T) {
+	t.Cleanup(func() { obs.SetEnabled(true) })
+	c := Campaign{Name: "inert", Scenario: scenario.DS2, Mode: core.ModeSmart,
+		PreferDisappearFor: sim.ClassPedestrian, ExpectCrashes: true}
+
+	runOnce := func(enabled bool) []byte {
+		t.Helper()
+		obs.SetEnabled(enabled)
+		mem := results.NewMemStore()
+		res, err := RunCampaignOn(engine.New(engine.WithWorkers(4)), c, 8, 500, nil,
+			WithSink(mem))
+		if err != nil {
+			t.Fatalf("metrics=%v: %v", enabled, err)
+		}
+		eps, err := mem.Episodes("inert")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(struct {
+			Result   CampaignResult
+			Episodes []results.EpisodeRecord
+		}{res, eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	off := runOnce(false)
+	on := runOnce(true)
+	if string(off) != string(on) {
+		t.Errorf("records differ with metrics on vs off:\noff %s\non  %s", off, on)
 	}
 }
 

@@ -1,0 +1,85 @@
+package experiment
+
+// Frame-pipeline instrumentation. Each perception stage of the Fig. 1
+// loop gets a latency histogram series (stage label), plus frame and
+// episode throughput counters. Recording is observational only: it
+// reads the wall clock and bumps atomics, and never touches seeds, RNG
+// streams or result fields, so instrumented campaigns are bit-identical
+// to uninstrumented ones. The handles live in the per-worker Scratch
+// and recording is allocation-free (TestFrameStepZeroAllocs covers the
+// instrumented loop).
+
+import (
+	"time"
+
+	"github.com/robotack/robotack/internal/obs"
+)
+
+var frameStageBuckets = obs.ExpBuckets(1e-6, 2, 14) // 1µs .. 8.192ms
+
+func stageHist(stage string) *obs.Histogram {
+	return obs.NewHistogram("robotack_frame_stage_seconds",
+		"Frame-pipeline stage latency by stage.",
+		frameStageBuckets, obs.Label{Key: "stage", Value: stage})
+}
+
+var (
+	framesTotal   = obs.NewCounter("robotack_frames_total", "Simulation frames executed.")
+	episodesTotal = obs.NewCounter("robotack_episodes_total", "Episodes completed.")
+)
+
+// frameObs is one worker's set of shard-pinned recording handles.
+type frameObs struct {
+	init                                                bool
+	sensor, malware, lidar, detect, track, fusion, plan obs.HistogramHandle
+	frames                                              obs.CounterHandle
+	episodes                                            obs.CounterHandle
+}
+
+func newFrameObs() frameObs {
+	return frameObs{
+		init:     true,
+		sensor:   stageHist("sensor").Handle(),
+		malware:  stageHist("malware").Handle(),
+		lidar:    stageHist("lidar").Handle(),
+		detect:   stageHist("detect").Handle(),
+		track:    stageHist("track").Handle(),
+		fusion:   stageHist("fusion").Handle(),
+		plan:     stageHist("plan").Handle(),
+		frames:   framesTotal.Handle(),
+		episodes: episodesTotal.Handle(),
+	}
+}
+
+// frameObsHandles returns the scratch's recording handles, building
+// them on first use (one registry hit per worker, not per episode).
+func (s *Scratch) frameObsHandles() *frameObs {
+	if !s.fobs.init {
+		s.fobs = newFrameObs()
+	}
+	return &s.fobs
+}
+
+// stageClock times consecutive stages within one frame: each tick
+// observes the span since the previous tick and restarts. A clock
+// started off is free — every method is a branch on a bool.
+type stageClock struct {
+	t  time.Time
+	on bool
+}
+
+func startStageClock(on bool) stageClock {
+	if !on {
+		return stageClock{}
+	}
+	return stageClock{t: time.Now(), on: true}
+}
+
+func (c *stageClock) tick(h obs.HistogramHandle) {
+	if !c.on {
+		return
+	}
+	now := time.Now()
+	h.Observe(now.Sub(c.t).Seconds())
+	c.t = now
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/planner"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
@@ -148,21 +149,45 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		malware = s.malwareFor(mcfg, cfg.Attack.Oracles, stats.NewRNG(cfg.Seed*31337+7))
 	}
 
+	// Stage timing is observational only: the clock and counters never
+	// feed back into the simulation, RNG streams or result fields, so
+	// the episode is bit-identical with metrics on, off, or absent.
+	en := obs.Enabled()
+	fo := s.frameObsHandles()
+
 	res := RunResult{MinDelta: safety.MaxDSafe}
 	launched := false
 	for i := 0; i < scn.Frames() && !w.Halted; i++ {
 		if i%16 == 0 && ctx.Err() != nil {
 			return res, ctx.Err()
 		}
+		// Stage latencies are sampled (1 frame in 16): seven clock reads
+		// per frame cost ~12% episode throughput, sampled they are noise,
+		// and the histograms are statistical either way. Frame/episode
+		// counters stay exact.
+		clk := startStageClock(en && i&15 == 0)
 		frame := cam.CaptureInto(&s.capture, w, i)
+		clk.tick(fo.sensor)
 		if malware != nil {
 			malware.SetEVSpeed(w.EV.Speed)
 			malware.Process(frame.Image, i)
+			clk.tick(fo.malware)
 		}
-		objs := ads.Process(frame.Image, lidar.Scan(w))
+		scan := lidar.Scan(w)
+		clk.tick(fo.lidar)
+		dets := ads.StageDetect(frame.Image)
+		clk.tick(fo.detect)
+		tracks := ads.StageTrack(dets)
+		clk.tick(fo.track)
+		objs := ads.StageFuse(tracks, scan)
+		clk.tick(fo.fusion)
 		d := pl.Plan(objs, ads.Fusion.Config(), w.EV, w.Road)
+		clk.tick(fo.plan)
 		w.Step(d.Accel)
 		res.Frames++
+		if en {
+			fo.frames.Add(1)
+		}
 
 		if malware != nil && !launched && malware.Log().Launched {
 			launched = true
@@ -211,6 +236,9 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 			res.EB = false
 			res.Crashed = false
 		}
+	}
+	if en {
+		fo.episodes.Add(1)
 	}
 	return res, nil
 }

@@ -51,6 +51,10 @@ type Scratch struct {
 	oracleSrc map[core.Vector]core.Oracle
 	oracles   map[core.Vector]core.Oracle
 	oracleGen int
+
+	// fobs holds this worker's shard-pinned metric handles (see
+	// obs.go); built lazily on the first instrumented episode.
+	fobs frameObs
 }
 
 // NewScratch returns an empty episode scratch.

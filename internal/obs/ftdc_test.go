@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFTDCRoundTrip: encode a series of snapshots, decode, and get the
+// same timestamps and values back exactly.
+func TestFTDCRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []struct {
+		ts      int64
+		samples []Sample
+	}{
+		{1000, []Sample{{"a_total", 0}, {"b_gauge", -1.5}}},
+		{2000, []Sample{{"a_total", 3}, {"b_gauge", 2.25}}},
+		{3500, []Sample{{"a_total", 3}, {"b_gauge", math.Pi}}},
+		// Schema change mid-stream: a new series appears.
+		{5000, []Sample{{"a_total", 10}, {"b_gauge", 0}, {"c_total", 7}}},
+		{6000, []Sample{{"a_total", 11}, {"b_gauge", -0.125}, {"c_total", 9}}},
+	}
+	for _, s := range steps {
+		if err := enc.Encode(s.ts, s.samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snaps, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != len(steps) {
+		t.Fatalf("decoded %d snapshots, want %d", len(snaps), len(steps))
+	}
+	for i, s := range steps {
+		if snaps[i].TS != s.ts {
+			t.Errorf("snapshot %d: ts %d, want %d", i, snaps[i].TS, s.ts)
+		}
+		if len(snaps[i].Metrics) != len(s.samples) {
+			t.Errorf("snapshot %d: %d series, want %d", i, len(snaps[i].Metrics), len(s.samples))
+		}
+		for _, want := range s.samples {
+			if got := snaps[i].Metrics[want.Name]; got != want.Value {
+				t.Errorf("snapshot %d: %s = %v, want %v", i, want.Name, got, want.Value)
+			}
+		}
+	}
+}
+
+// TestFTDCRejectsGarbage: a file without the magic header is refused.
+func TestFTDCRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a capture file at all"))); err == nil {
+		t.Fatal("decoding garbage succeeded")
+	}
+}
+
+// TestCaptureLifecycle: StartCapture writes a decodable file whose
+// values track the registry, and Stop takes a final sample.
+func TestCaptureLifecycle(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cap_total", "")
+	path := filepath.Join(t.TempDir(), "metrics.ftdc")
+
+	cap, err := StartCapture(r, path, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(5)
+	time.Sleep(35 * time.Millisecond)
+	c.Add(2)
+	if err := cap.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snaps, err := Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("capture produced no snapshots")
+	}
+	// The final (Stop-time) sample must see the full total.
+	last := snaps[len(snaps)-1]
+	if got := last.Metrics["cap_total"]; got != 7 {
+		t.Errorf("final snapshot cap_total = %v, want 7", got)
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].TS < snaps[i-1].TS {
+			t.Errorf("snapshot %d: ts went backwards", i)
+		}
+	}
+}

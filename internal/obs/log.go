@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogConfig carries the two process-wide logging knobs every binary
+// exposes: minimum level and text-vs-JSON output.
+type LogConfig struct {
+	Level string // debug | info | warn | error
+	JSON  bool
+}
+
+// RegisterFlags wires -log-level and -log-json onto fs with the shared
+// defaults, so all binaries present the same surface in -h.
+func (c *LogConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.BoolVar(&c.JSON, "log-json", false, "emit logs as JSON lines instead of text")
+}
+
+// Logger builds the configured *slog.Logger writing to w.
+func (c LogConfig) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(c.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "", "info":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", c.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if c.JSON {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}
+
+// Discard returns a logger that drops everything: the default for
+// library types whose caller did not supply one.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest exact representation, no exponent for small magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the registry in Prometheus
+// text exposition format 0.0.4: one HELP/TYPE header per family, then
+// that family's series. Families are emitted in name order so output
+// is stable for golden tests; series within a family keep their
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, m := range r.sortedForExposition() {
+		d := m.desc()
+		if d.name != lastFamily {
+			lastFamily = d.name
+			if d.help != "" {
+				bw.WriteString("# HELP " + d.name + " " + d.help + "\n")
+			}
+			bw.WriteString("# TYPE " + d.name + " " + m.typ() + "\n")
+		}
+		switch v := m.(type) {
+		case *Counter:
+			bw.WriteString(d.series() + " " + strconv.FormatUint(v.Value(), 10) + "\n")
+		case *Gauge:
+			bw.WriteString(d.series() + " " + formatFloat(v.Value()) + "\n")
+		case *Histogram:
+			buckets, sum, count := v.snapshot()
+			cum := uint64(0)
+			for i, b := range buckets {
+				cum += b
+				bw.WriteString(bucketSeries(d, v.bounds, i) + " " + strconv.FormatUint(cum, 10) + "\n")
+			}
+			bw.WriteString(d.name + "_sum" + wrap(d.labels) + " " + formatFloat(sum) + "\n")
+			bw.WriteString(d.name + "_count" + wrap(d.labels) + " " + strconv.FormatUint(count, 10) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on a non-default
+// mux under /debug/pprof/. Opt-in: callers gate this behind a flag.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

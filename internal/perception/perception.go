@@ -49,10 +49,30 @@ func NewDefault(cam *sensor.Camera, rng *stats.RNG) *Pipeline {
 }
 
 // Process runs one frame through the stack and returns the fused world
-// model.
+// model. It is the composition of the three stage methods below;
+// callers that time individual stages (the instrumented episode
+// runner) invoke them directly.
 func (p *Pipeline) Process(img *sensor.Image, lidar []sensor.Detection) []fusion.Object {
+	dets := p.StageDetect(img)
+	tracks := p.StageTrack(dets)
+	return p.StageFuse(tracks, lidar)
+}
+
+// StageDetect runs the object detector and records its output as the
+// frame's last detections.
+func (p *Pipeline) StageDetect(img *sensor.Image) []detect.Detection {
 	p.lastDetections = p.Detector.Detect(img)
-	tracks := p.Tracker.Step(p.lastDetections)
+	return p.lastDetections
+}
+
+// StageTrack advances the Hungarian-matched Kalman trackers.
+func (p *Pipeline) StageTrack(dets []detect.Detection) []*track.Track {
+	return p.Tracker.Step(dets)
+}
+
+// StageFuse fuses camera tracks with the LiDAR scan into the frame's
+// world model.
+func (p *Pipeline) StageFuse(tracks []*track.Track, lidar []sensor.Detection) []fusion.Object {
 	return p.Fusion.Step(tracks, lidar, sim.DT)
 }
 

@@ -10,8 +10,21 @@ import (
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/stats"
+)
+
+// Trainer instrumentation: progress of a running search. Observational
+// only — fitness, seeds and the JSONL search log stay byte-identical
+// with metrics on or off.
+var (
+	searchCandidates = obs.NewCounter("robotack_search_candidates_total",
+		"Policy-search candidate evaluations completed.")
+	searchGenerations = obs.NewCounter("robotack_search_generations_total",
+		"Policy-search generations completed.")
+	searchBestFitness = obs.NewGauge("robotack_search_best_fitness",
+		"Fitness of the current search elite.")
 )
 
 // TrainerConfig shapes a policy search: the evaluation battery, the
@@ -174,6 +187,9 @@ func Train(eng *engine.Engine, cfg TrainerConfig) (SearchResult, error) {
 				return res, fmt.Errorf("policy: gen %d cand %d: %w", gen, cand, err)
 			}
 			res.Evaluated++
+			if obs.Enabled() {
+				searchCandidates.Add(1)
+			}
 			if err := logLine(cfg.Log, c); err != nil {
 				return res, err
 			}
@@ -184,6 +200,10 @@ func Train(eng *engine.Engine, cfg TrainerConfig) (SearchResult, error) {
 		}
 		elite = best
 		res.Best = best
+		if obs.Enabled() {
+			searchGenerations.Add(1)
+			searchBestFitness.Set(best.Fitness)
+		}
 		if err := logElite(cfg.Log, gen, best); err != nil {
 			return res, err
 		}

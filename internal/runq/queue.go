@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/robotack/robotack/internal/obs"
 )
 
 // Errors the queue's operations return; the HTTP layer maps them to
@@ -38,7 +41,7 @@ type Executor interface {
 type Queue struct {
 	maxConcurrent int
 	leaseTTL      time.Duration
-	logf          func(format string, args ...any)
+	log           *slog.Logger
 
 	compactThreshold int64
 
@@ -49,6 +52,7 @@ type Queue struct {
 	journal *os.File
 	lockf   *os.File // held for the queue's lifetime (dir exclusivity)
 	subs    map[int]map[chan Event]bool
+	rates   map[int]*rateState         // per running job, derived, unjournaled
 	cancels map[int]context.CancelFunc // local in-flight jobs
 	running int                        // local in-flight count
 	closed  bool
@@ -97,12 +101,13 @@ func WithCompactionThreshold(n int64) Option {
 	return func(q *Queue) { q.compactThreshold = n }
 }
 
-// WithLog sets a logger for background failures (journal write errors,
-// lease expirations) that have no caller to return to.
-func WithLog(logf func(format string, args ...any)) Option {
+// WithLogger sets the queue's structured logger: lease churn, journal
+// failures and job lifecycle transitions are logged with job-id,
+// worker and attempt attributes. Default: discard.
+func WithLogger(l *slog.Logger) Option {
 	return func(q *Queue) {
-		if logf != nil {
-			q.logf = logf
+		if l != nil {
+			q.log = l
 		}
 	}
 }
@@ -118,9 +123,10 @@ func Open(dir string, opts ...Option) (*Queue, error) {
 		maxConcurrent:    1,
 		leaseTTL:         30 * time.Second,
 		compactThreshold: DefaultCompactionThreshold,
-		logf:             func(string, ...any) {},
+		log:              obs.Discard(),
 		jobs:             make(map[int]*Job),
 		subs:             make(map[int]map[chan Event]bool),
+		rates:            make(map[int]*rateState),
 		cancels:          make(map[int]context.CancelFunc),
 	}
 	for _, opt := range opts {
@@ -181,6 +187,7 @@ func Open(dir string, opts ...Option) (*Queue, error) {
 	}
 	sort.Ints(ids)
 	q.pending = ids
+	q.gaugesLocked() // no concurrency yet; seeds the depth gauge
 	return q, nil
 }
 
@@ -229,7 +236,9 @@ func (q *Queue) expireLeases() {
 	now := time.Now()
 	for _, j := range q.jobs {
 		if j.State == StateRunning && !j.lease.IsZero() && now.After(j.lease) {
-			q.logf("runq: job %d: worker %q lost its lease; requeueing", j.ID, j.Worker)
+			q.log.Warn("lease expired; requeueing",
+				"job", j.ID, "worker", j.Worker, "attempt", j.Attempt)
+			count(qExpired)
 			q.requeueLocked(j)
 		}
 	}
@@ -243,8 +252,11 @@ func (q *Queue) requeueLocked(j *Job) {
 	j.Worker = ""
 	j.lease = time.Time{}
 	q.pending = append([]int{j.ID}, q.pending...)
+	count(qRequeued)
+	q.dropRateLocked(j.ID)
 	q.journalLocked(j)
 	q.publishLocked(j)
+	q.gaugesLocked()
 }
 
 // Submit validates and enqueues a request, returning the journaled
@@ -277,7 +289,11 @@ func (q *Queue) Submit(req Request) (Job, error) {
 		q.mu.Unlock()
 		return Job{}, err
 	}
+	count(qSubmitted)
+	q.log.Info("job submitted",
+		"job", j.ID, "scenario", req.Label(), "mode", req.Mode, "runs", req.Runs)
 	q.publishLocked(j)
+	q.gaugesLocked()
 	snap := *j
 	q.mu.Unlock()
 	q.dispatch()
@@ -333,8 +349,12 @@ func (q *Queue) Cancel(id int) error {
 	j.State = StateCancelled
 	j.Worker = ""
 	j.lease = time.Time{}
+	count(qCancelled)
+	q.dropRateLocked(id)
+	q.log.Info("job cancelled", "job", id, "attempt", j.Attempt)
 	q.journalLocked(j)
 	q.publishLocked(j)
+	q.gaugesLocked()
 	if cancel := q.cancels[id]; cancel != nil {
 		cancel()
 	}
@@ -369,12 +389,46 @@ func (q *Queue) Subscribe(id int) (Job, <-chan Event, func(), error) {
 	return *j, ch, unsub, nil
 }
 
+// eventLocked builds the job's Event enriched with derived telemetry:
+// queue position for waiting jobs, episode throughput for running
+// ones. Both come from queue-internal derived state, never from the
+// journal.
+func (q *Queue) eventLocked(j *Job) Event {
+	ev := j.event()
+	switch j.State {
+	case StateQueued:
+		for i, id := range q.pending {
+			if id == j.ID {
+				ev.QueuePos = i + 1
+				break
+			}
+		}
+	case StateRunning:
+		if rs := q.rates[j.ID]; rs != nil {
+			ev.EpsPerSec = rs.eps
+		}
+	}
+	return ev
+}
+
+// EventOf returns the job's current enriched event snapshot — what a
+// new SSE subscriber should see first.
+func (q *Queue) EventOf(id int) (Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Event{}, false
+	}
+	return q.eventLocked(j), true
+}
+
 // publishLocked fans the job's current state out to its subscribers.
 // Sends never block: a full channel drops its oldest event to make
 // room, so progress may be thinned but the terminal event always
 // lands.
 func (q *Queue) publishLocked(j *Job) {
-	ev := j.event()
+	ev := q.eventLocked(j)
 	for ch := range q.subs[j.ID] {
 		select {
 		case ch <- ev:
@@ -393,7 +447,7 @@ func (q *Queue) publishLocked(j *Job) {
 
 func (q *Queue) journalLocked(j *Job) {
 	if err := appendJob(q.journal, j); err != nil {
-		q.logf("%v", err)
+		q.log.Error("journal append failed", "job", j.ID, "err", err)
 	}
 }
 
@@ -410,6 +464,7 @@ func (q *Queue) progress(id int, done, total int) {
 	if total > 0 {
 		j.Total = total
 	}
+	q.observeRateLocked(id, done)
 	q.publishLocked(j)
 }
 
@@ -433,8 +488,12 @@ func (q *Queue) dispatchLocked() {
 		j.Attempt++
 		j.Worker = LocalWorker
 		j.lease = time.Time{}
+		count(qLeased)
+		q.observeRateLocked(id, j.Done)
+		q.log.Info("job dispatched locally", "job", id, "attempt", j.Attempt)
 		q.journalLocked(j)
 		q.publishLocked(j)
+		q.gaugesLocked()
 		q.running++
 		ctx, cancel := context.WithCancel(q.ctx)
 		q.cancels[id] = cancel
@@ -464,6 +523,9 @@ func (q *Queue) runLocal(ctx context.Context, cancel context.CancelFunc, job Job
 		j.State = StateDone
 		j.Done = j.Total
 		j.Worker = ""
+		count(qCompleted)
+		q.dropRateLocked(j.ID)
+		q.log.Info("job done", "job", j.ID, "attempt", j.Attempt, "runs", j.Total)
 		q.journalLocked(j)
 		q.publishLocked(j)
 	case q.ctx.Err() != nil && errors.Is(err, context.Canceled):
@@ -473,9 +535,13 @@ func (q *Queue) runLocal(ctx context.Context, cancel context.CancelFunc, job Job
 		j.State = StateFailed
 		j.Error = err.Error()
 		j.Worker = ""
+		count(qFailed)
+		q.dropRateLocked(j.ID)
+		q.log.Warn("job failed", "job", j.ID, "attempt", j.Attempt, "err", err)
 		q.journalLocked(j)
 		q.publishLocked(j)
 	}
+	q.gaugesLocked()
 	q.dispatchLocked()
 }
 
@@ -500,8 +566,12 @@ func (q *Queue) Lease(worker string) (job Job, ok bool) {
 	j.Attempt++
 	j.Worker = worker
 	j.lease = time.Now().Add(q.leaseTTL)
+	count(qLeased)
+	q.observeRateLocked(id, j.Done)
+	q.log.Info("job leased", "job", id, "worker", worker, "attempt", j.Attempt)
 	q.journalLocked(j)
 	q.publishLocked(j)
+	q.gaugesLocked()
 	snap := *j
 	snap.Request.Resume = j.Resume()
 	return snap, true
@@ -532,11 +602,13 @@ func (q *Queue) Heartbeat(id int, worker string, done, total int) error {
 		return ErrLeaseLost
 	}
 	j.lease = time.Now().Add(q.leaseTTL)
+	count(qRenewed)
 	if done > j.Done {
 		j.Done = done
 		if total > 0 {
 			j.Total = total
 		}
+		q.observeRateLocked(id, done)
 		q.publishLocked(j)
 	}
 	return nil
@@ -572,8 +644,12 @@ func (q *Queue) Complete(id int, worker string) error {
 	j.Done = j.Total
 	j.Worker = ""
 	j.lease = time.Time{}
+	count(qCompleted)
+	q.dropRateLocked(id)
+	q.log.Info("job done", "job", id, "worker", worker, "attempt", j.Attempt, "runs", j.Total)
 	q.journalLocked(j)
 	q.publishLocked(j)
+	q.gaugesLocked()
 	return nil
 }
 
@@ -592,14 +668,21 @@ func (q *Queue) Fail(id int, worker, msg string, requeue bool) error {
 		return ErrLeaseLost
 	}
 	if requeue {
+		q.log.Warn("worker returned job; requeueing",
+			"job", id, "worker", worker, "attempt", j.Attempt, "err", msg)
 		q.requeueLocked(j)
 	} else {
 		j.State = StateFailed
 		j.Error = msg
 		j.Worker = ""
 		j.lease = time.Time{}
+		count(qFailed)
+		q.dropRateLocked(id)
+		q.log.Warn("job failed",
+			"job", id, "worker", worker, "attempt", j.Attempt, "err", msg)
 		q.journalLocked(j)
 		q.publishLocked(j)
+		q.gaugesLocked()
 	}
 	q.mu.Unlock()
 	q.dispatch()

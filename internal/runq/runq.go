@@ -76,11 +76,17 @@ func (j Job) Resume() bool {
 // state transition and episode completion. The final event of a
 // subscription carries a terminal State.
 type Event struct {
-	ID    int    `json:"id"`
-	State State  `json:"state"`
-	Done  int    `json:"done"`
-	Total int    `json:"total"`
-	Error string `json:"error,omitempty"`
+	ID    int   `json:"id"`
+	State State `json:"state"`
+	Done  int   `json:"done"`
+	Total int   `json:"total"`
+	// EpsPerSec is the job's recent episode throughput (moving
+	// average), present while the job is running and making progress.
+	EpsPerSec float64 `json:"eps_per_sec,omitempty"`
+	// QueuePos is the job's 1-based position among waiting jobs,
+	// present while the job is queued.
+	QueuePos int    `json:"queue_pos,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // event builds the job's current Event snapshot.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
+	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 )
 
@@ -49,8 +51,9 @@ type Worker struct {
 	BackoffMax  time.Duration
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
-	// Logf receives progress and error lines (default: discard).
-	Logf func(format string, args ...any)
+	// Log receives the worker's structured progress and error records,
+	// with worker/job/attempt attributes (default: discard).
+	Log *slog.Logger
 
 	// sleep is the interruptible wait, overridable in tests.
 	sleep func(ctx context.Context, d time.Duration) bool
@@ -66,10 +69,11 @@ func (w *Worker) client() *http.Client {
 	return http.DefaultClient
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.Logf != nil {
-		w.Logf(format, args...)
+func (w *Worker) log() *slog.Logger {
+	if w.Log != nil {
+		return w.Log
 	}
+	return obs.Discard()
 }
 
 // backoffDelay returns the wait before the n-th consecutive retry
@@ -137,7 +141,8 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err != nil {
 			fails++
 			d := w.backoffDelay(fails)
-			w.logf("worker %s: %v (retry in %v)", w.Name, err, d)
+			w.log().Warn("lease attempt failed; backing off",
+				"worker", w.Name, "attempt", fails, "retry_in", d, "err", err)
 			if !w.wait(ctx, d) {
 				return nil
 			}
@@ -167,8 +172,9 @@ func (w *Worker) RunOne(ctx context.Context) (ran bool, err error) {
 	if status != http.StatusOK {
 		return false, fmt.Errorf("lease: server returned %d", status)
 	}
-	w.logf("worker %s: leased job %d (%s, %d runs, attempt %d)",
-		w.Name, lease.Job.ID, lease.Job.Request.RecordName(), lease.Job.Request.Runs, lease.Job.Attempt)
+	w.log().Info("leased job",
+		"worker", w.Name, "job", lease.Job.ID, "campaign", lease.Job.Request.RecordName(),
+		"runs", lease.Job.Request.Runs, "attempt", lease.Job.Attempt)
 	w.execute(ctx, lease)
 	return true, nil
 }
@@ -246,7 +252,7 @@ func (r *run) flush() error {
 
 func (r *run) loseLease() {
 	if r.lost.CompareAndSwap(false, true) {
-		r.w.logf("worker %s: job %d: lease lost; abandoning", r.w.Name, r.jobID)
+		r.w.log().Warn("lease lost; abandoning run", "worker", r.w.Name, "job", r.jobID)
 		r.cancel()
 	}
 }
@@ -278,7 +284,8 @@ func (r *run) heartbeat(ctx context.Context, ttl time.Duration, stop <-chan stru
 		switch {
 		case err != nil:
 			fails++ // transient; the lease may still survive
-			r.w.logf("worker %s: job %d: heartbeat: %v", r.w.Name, r.jobID, err)
+			r.w.log().Warn("heartbeat failed",
+				"worker", r.w.Name, "job", r.jobID, "attempt", fails, "err", err)
 		case status == http.StatusConflict || status == http.StatusNotFound:
 			r.loseLease()
 			return
@@ -319,9 +326,11 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) {
 		case err != nil:
 			// Unreachable server: the lease will expire and the job
 			// requeue, so the outcome is not lost, just delayed.
-			w.logf("worker %s: job %d: report %s: %v", w.Name, job.ID, verb, err)
+			w.log().Warn("report failed",
+				"worker", w.Name, "job", job.ID, "verb", verb, "err", err)
 		case status != http.StatusOK:
-			w.logf("worker %s: job %d: report %s: server returned %d", w.Name, job.ID, verb, status)
+			w.log().Warn("report rejected",
+				"worker", w.Name, "job", job.ID, "verb", verb, "status", status)
 		}
 	}
 	switch {
@@ -330,14 +339,14 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) {
 		// the protocol.
 	case err == nil:
 		report("complete", CompleteRequest{Worker: w.Name, Campaign: &rec})
-		w.logf("worker %s: job %d done (%d runs)", w.Name, job.ID, rec.Runs)
+		w.log().Info("job done", "worker", w.Name, "job", job.ID, "runs", rec.Runs)
 	case ctx.Err() != nil:
 		// Worker shutdown: hand the job back promptly instead of
 		// waiting for the lease to expire.
 		report("fail", FailRequest{Worker: w.Name, Error: "worker shut down", Requeue: true})
 	default:
 		report("fail", FailRequest{Worker: w.Name, Error: err.Error()})
-		w.logf("worker %s: job %d failed: %v", w.Name, job.ID, err)
+		w.log().Warn("job failed", "worker", w.Name, "job", job.ID, "err", err)
 	}
 }
 

@@ -7,6 +7,7 @@ package runq
 import (
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -172,16 +173,36 @@ func TestBackoffDelayBounds(t *testing.T) {
 	}
 }
 
-// TestBackoffLogMentionsRetry: the retry wait is visible in the worker
-// log, so an operator watching a worker sees why it has gone quiet.
-func TestBackoffLogMentionsRetry(t *testing.T) {
+// lockedBuffer lets the worker's log handler write from any goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestBackoffLogStructuredWarn: each failed lease attempt emits a WARN
+// record carrying the attempt count and the next retry delay, so an
+// operator watching a quiet worker sees the backoff schedule, not
+// silence.
+func TestBackoffLogStructuredWarn(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "down", http.StatusInternalServerError)
 	}))
 	defer ts.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	var logs []string
+	var out lockedBuffer
 	var mu sync.Mutex
 	calls := 0
 	w := &Worker{
@@ -199,24 +220,23 @@ func TestBackoffLogMentionsRetry(t *testing.T) {
 			}
 			return true
 		},
-		Logf: func(format string, args ...any) {
-			mu.Lock()
-			logs = append(logs, strings.TrimSpace(format))
-			mu.Unlock()
-		},
+		Log: slog.New(slog.NewTextHandler(&out, nil)),
 	}
 	if err := w.Run(ctx); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	found := false
-	for _, l := range logs {
-		if strings.Contains(l, "retry in") {
-			found = true
+	logs := out.String()
+	if !strings.Contains(logs, "level=WARN") {
+		t.Errorf("backoff did not log at WARN level; got:\n%s", logs)
+	}
+	for _, attr := range []string{"retry_in=", "attempt=", "worker=logtest"} {
+		if !strings.Contains(logs, attr) {
+			t.Errorf("backoff warn is missing the %q attribute; got:\n%s", attr, logs)
 		}
 	}
-	if !found {
-		t.Errorf("no log line mentions the retry wait; got %v", logs)
+	// The attempt counter must actually count: three failed attempts
+	// before the stop means attempt=3 appears.
+	if !strings.Contains(logs, "attempt=3") {
+		t.Errorf("attempt count not incrementing across retries; got:\n%s", logs)
 	}
 }
