@@ -8,10 +8,12 @@
 // generator: golden, smart-attack and random-baseline campaigns run on
 // the custom source instead.
 //
-// With -out, every episode streams into a JSONL results store as it
-// completes; -resume folds already-persisted episodes back into the
-// aggregates (bit-identically) instead of re-running them, and
-// -compare diffs two stores' campaign aggregates.
+// With -out, every episode streams into a results store as it
+// completes — a JSONL file or a segmented segstore directory,
+// autodetected from the path; -resume folds already-persisted episodes
+// back into the aggregates (bit-identically) instead of re-running
+// them, and -compare diffs two stores' campaign aggregates (the two
+// sides may use different backends).
 //
 // Usage:
 //
@@ -48,6 +50,7 @@ import (
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
+	"github.com/robotack/robotack/internal/segstore"
 )
 
 func main() {
@@ -68,9 +71,9 @@ func run() error {
 		list         = flag.Bool("list-scenarios", false, "list registered scenario specs and exit")
 		policyFile   = flag.String("policy", "", "evaluate this policy artifact's trigger side-by-side with the paper trigger")
 		listPolicies = flag.Bool("list-policies", false, "list known policy artifact kinds and exit")
-		out          = flag.String("out", "", "append episode and campaign records to this JSONL results store")
+		out          = flag.String("out", "", "append episode and campaign records to this results store (JSONL file or segstore directory, autodetected)")
 		resume       = flag.Bool("resume", false, "fold episodes already persisted in -out back into the aggregates instead of re-running them")
-		compare      = flag.String("compare", "", "diff this JSONL store against -out and exit (no campaigns run)")
+		compare      = flag.String("compare", "", "diff this store against -out and exit (no campaigns run)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
 		ftdcPath     = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
@@ -155,11 +158,11 @@ func run() error {
 		if *out == "" {
 			return fmt.Errorf("-compare needs -out: the two stores to diff")
 		}
-		old, err := results.Load(*compare)
+		old, err := segstore.LoadAny(*compare)
 		if err != nil {
 			return err
 		}
-		cur, err := results.Load(*out)
+		cur, err := segstore.LoadAny(*out)
 		if err != nil {
 			return err
 		}
@@ -177,7 +180,7 @@ func run() error {
 
 	var opts []experiment.RunOption
 	if *out != "" {
-		store, err := results.Open(*out)
+		store, err := segstore.OpenAny(*out)
 		if err != nil {
 			return err
 		}

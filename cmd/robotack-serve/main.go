@@ -1,4 +1,4 @@
-// Command robotack-serve exposes a JSONL results store over HTTP and
+// Command robotack-serve exposes a results store over HTTP and
 // runs a durable campaign queue on top of it: POST /runs enqueues
 // campaigns that execute under a bounded local concurrency or on
 // remote robotack-worker processes, episodes stream into the served
@@ -13,7 +13,8 @@
 //	GET  /campaigns/{name}/episodes    the campaign's episode records
 //	GET  /campaigns/{name}/summary     Table II text for one campaign
 //	GET  /summary                      Table II + headline summary for the store
-//	GET  /diff?other=path              diff the store against another JSONL store
+//	GET  /stores                       size and format stats for the served store
+//	GET  /diff?other=path              diff the store against another store
 //	GET  /diff?a=name&b=name           diff two campaigns within the store
 //	POST /runs                         queue a campaign
 //	GET  /runs | /runs/{id}            queued runs' progress
@@ -21,9 +22,16 @@
 //	DELETE /runs/{id}                  cancel a run
 //	POST /lease, /runs/{id}/...        remote-worker protocol (robotack-worker)
 //
+// The store backend is autodetected from the -store path (an existing
+// or ".jsonl"-suffixed path is the JSONL FileStore; a directory is the
+// segmented segstore), or forced segmented with -store-dir — the
+// backend for million-episode sweeps, whose open cost tracks index
+// size rather than record count.
+//
 // Usage:
 //
 //	robotack-serve -store results.jsonl
+//	robotack-serve -store-dir results.seg -queue-dir queue/
 //	robotack-serve -store results.jsonl -queue-dir queue/ -max-concurrent 2
 //	robotack-serve -store results.jsonl -addr :9090 -workers 4 -lease-ttl 30s
 //	robotack-serve -store results.jsonl -log-level debug -log-json
@@ -53,6 +61,7 @@ import (
 	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/runq"
+	"github.com/robotack/robotack/internal/segstore"
 )
 
 func main() {
@@ -64,7 +73,8 @@ func main() {
 
 func run() error {
 	var (
-		storePath = flag.String("store", "", "JSONL results store to serve (created if missing)")
+		storePath = flag.String("store", "", "results store to serve: JSONL file or segstore directory, autodetected (created if missing)")
+		storeDir  = flag.String("store-dir", "", "serve a segmented segstore directory (created if missing); exclusive with -store")
 		addr      = flag.String("addr", ":8077", "listen address")
 		workers   = flag.Int("workers", engine.DefaultWorkers(), "engine workers per locally executed run")
 		queueDir  = flag.String("queue-dir", "", "directory for the durable run-queue journal (empty: in-memory queue, lost on restart)")
@@ -78,8 +88,8 @@ func run() error {
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if *storePath == "" {
-		return fmt.Errorf("-store is required")
+	if (*storePath == "") == (*storeDir == "") {
+		return fmt.Errorf("exactly one of -store or -store-dir is required")
 	}
 	logger, err := logCfg.Logger(os.Stderr)
 	if err != nil {
@@ -89,7 +99,15 @@ func run() error {
 		obs.SetEnabled(false)
 	}
 
-	store, err := results.Open(*storePath)
+	compactLog := segstore.WithErrorLog(func(campaign string, err error) {
+		logger.Warn("shard compaction failed", "campaign", campaign, "err", err)
+	})
+	var store results.DurableStore
+	if *storeDir != "" {
+		store, err = segstore.Open(*storeDir, compactLog)
+	} else {
+		store, err = segstore.OpenAny(*storePath, compactLog)
+	}
 	if err != nil {
 		return err
 	}
@@ -148,8 +166,12 @@ func run() error {
 	if durable == "" {
 		durable = "in-memory"
 	}
+	served := *storePath
+	if *storeDir != "" {
+		served = *storeDir
+	}
 	logger.Info("serving",
-		"store", *storePath, "addr", *addr, "queue", durable,
+		"store", served, "addr", *addr, "queue", durable,
 		"local_slots", *maxConc, "workers_per_run", *workers, "lease_ttl", *leaseTTL,
 		"metrics", *metrics, "pprof", *pprofOn)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -27,6 +27,7 @@ import (
 	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/runq"
+	"github.com/robotack/robotack/internal/segstore"
 )
 
 // httpSeconds returns the request-latency histogram series for one
@@ -49,7 +50,9 @@ func httpSeconds(pattern string) *obs.Histogram {
 //	GET  /campaigns/{name}/episodes    the campaign's episode records
 //	GET  /campaigns/{name}/summary     Table II text for one campaign
 //	GET  /summary                      Table II text for the whole store
-//	GET  /diff?other=path              diff the store against another JSONL store
+//	GET  /stores                       size and format stats for the served store
+//	GET  /diff?other=path              diff the store against another store
+//	                                   (JSONL file or segstore directory)
 //	GET  /diff?a=name&b=name           diff two campaigns within the store
 //
 // Run-queue endpoints:
@@ -152,6 +155,7 @@ func New(store results.Store, opts ...Option) *Server {
 	s.handle("GET /campaigns/{name}/episodes", s.handleEpisodes)
 	s.handle("GET /campaigns/{name}/summary", s.handleCampaignSummary)
 	s.handle("GET /summary", s.handleSummary)
+	s.handle("GET /stores", s.handleStores)
 	s.handle("GET /diff", s.handleDiff)
 	s.handle("POST /runs", s.handleLaunch)
 	s.handle("GET /runs", s.handleRuns)
@@ -296,11 +300,47 @@ func splitByMode(recs []results.CampaignRecord) (robo, base []results.CampaignRe
 	return robo, base
 }
 
+// handleStores reports the served store's size and format — the cheap
+// "how big is this thing / is it still growing" probe behind
+// `curl /stores`, an array so a future multi-store server keeps the
+// shape. Backends without StatsProvider (custom test stores) still get
+// an entry: campaign count from the Store interface, flagged Estimated
+// because episode and byte totals are unknowable through it.
+func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
+	st, err := storeStats(s.store)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, []results.StoreStats{st})
+}
+
+func storeStats(store results.Store) (results.StoreStats, error) {
+	if sp, ok := store.(results.StatsProvider); ok {
+		return sp.Stats()
+	}
+	recs, err := store.Campaigns()
+	if err != nil {
+		return results.StoreStats{}, err
+	}
+	st := results.StoreStats{Format: "unknown", Campaigns: len(recs), Estimated: true}
+	if lister, ok := store.(interface{ EpisodeCampaigns() []string }); ok {
+		for _, name := range lister.EpisodeCampaigns() {
+			eps, err := store.Episodes(name)
+			if err != nil {
+				return results.StoreStats{}, err
+			}
+			st.Episodes += len(eps)
+		}
+	}
+	return st, nil
+}
+
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	switch {
 	case q.Get("other") != "":
-		other, err := results.Load(q.Get("other"))
+		other, err := segstore.LoadAny(q.Get("other"))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -328,7 +368,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, results.DiffRecords(q.Get("a")+" vs "+q.Get("b"), ra, rb))
 	default:
-		writeError(w, http.StatusBadRequest, "diff needs ?other=store.jsonl or ?a=campaign&b=campaign")
+		writeError(w, http.StatusBadRequest, "diff needs ?other=store (JSONL file or segstore dir) or ?a=campaign&b=campaign")
 	}
 }
 

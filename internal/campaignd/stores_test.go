@@ -1,0 +1,107 @@
+package campaignd
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/segstore"
+)
+
+func TestStoresEndpoint(t *testing.T) {
+	ts := newTestServer(t, seededStore(t))
+	var stats []results.StoreStats
+	resp := getJSON(t, ts.URL+"/stores", &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stores = %d", resp.StatusCode)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("got %d store entries, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Format != results.FormatMem || st.Campaigns != 2 || st.Episodes != 3 {
+		t.Errorf("stats = %+v, want mem format, 2 campaigns, 3 episodes", st)
+	}
+	if st.BytesEstimate <= 0 {
+		t.Errorf("stats = %+v, want positive bytes estimate", st)
+	}
+}
+
+// bareStore strips MemStore down to the core Store interface plus the
+// episode lister, hiding StatsProvider — the GET /stores fallback path.
+type bareStore struct{ inner *results.MemStore }
+
+func (b bareStore) Append(ep results.EpisodeRecord) error        { return b.inner.Append(ep) }
+func (b bareStore) PutCampaign(c results.CampaignRecord) error   { return b.inner.PutCampaign(c) }
+func (b bareStore) Campaigns() ([]results.CampaignRecord, error) { return b.inner.Campaigns() }
+func (b bareStore) Episodes(name string) ([]results.EpisodeRecord, error) {
+	return b.inner.Episodes(name)
+}
+func (b bareStore) EpisodeCampaigns() []string { return b.inner.EpisodeCampaigns() }
+
+func TestStoresEndpointFallback(t *testing.T) {
+	ts := newTestServer(t, bareStore{inner: seededStore(t)})
+	var stats []results.StoreStats
+	getJSON(t, ts.URL+"/stores", &stats)
+	if len(stats) != 1 {
+		t.Fatalf("got %d store entries, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Format != "unknown" || !st.Estimated {
+		t.Errorf("stats = %+v, want unknown format flagged estimated", st)
+	}
+	if st.Campaigns != 2 || st.Episodes != 3 {
+		t.Errorf("stats = %+v, want 2 campaigns / 3 episodes counted through the interface", st)
+	}
+}
+
+// TestDiffOtherSegstoreDir points /diff?other= at a segstore directory:
+// the autodetecting loader must accept it and the diff against an
+// identical in-memory store must be all-zero.
+func TestDiffOtherSegstoreDir(t *testing.T) {
+	served := seededStore(t)
+	dir := filepath.Join(t.TempDir(), "other.seg")
+	other, err := segstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := served.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := other.PutCampaign(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range served.EpisodeCampaigns() {
+		eps, err := served.Episodes(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range eps {
+			if err := other.Append(ep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := other.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := newTestServer(t, served)
+	var diffs []results.CampaignDiff
+	resp := getJSON(t, ts.URL+"/diff?other="+dir, &diffs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /diff?other=<segstore dir> = %d", resp.StatusCode)
+	}
+	if len(diffs) != 3 {
+		t.Fatalf("got %d campaign diffs, want 3", len(diffs))
+	}
+	for _, d := range diffs {
+		if d.A == nil || d.B == nil || d.RunsDelta != 0 || d.EBRateDelta != 0 || d.CrashRateDelta != 0 {
+			t.Errorf("campaign %q: nonzero diff %+v", d.Name, d)
+		}
+	}
+}

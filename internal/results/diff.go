@@ -39,11 +39,24 @@ type episodeLister interface {
 	EpisodeCampaigns() []string
 }
 
+// Aggregator is the optional Store fast path for rebuilding a
+// campaign's aggregate from its episode records: an indexed store
+// (segstore) merges per-segment partial aggregates instead of reading
+// — or even returning — raw records. Implementations must produce
+// exactly Aggregate(identity-of-lowest-index-episode, Episodes(name))
+// and nil when no episodes exist.
+type Aggregator interface {
+	AggregateEpisodes(name string) (*CampaignRecord, error)
+}
+
 // aggregateEpisodes rebuilds a campaign's aggregate purely from its
 // episode records (the interrupted-campaign fallback). The identity
 // fields — mode, scenario, crash eligibility — come from the episodes
 // themselves. Returns nil when no episodes exist.
 func aggregateEpisodes(s Store, name string) (*CampaignRecord, error) {
+	if ag, ok := s.(Aggregator); ok {
+		return ag.AggregateEpisodes(name)
+	}
 	eps, err := s.Episodes(name)
 	if err != nil {
 		return nil, err

@@ -1,7 +1,6 @@
 package results
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,15 +22,14 @@ const (
 	kindCampaign = "campaign"
 )
 
-// maxLine bounds one JSONL line; campaign aggregates carry per-episode
-// slices, so the default bufio.Scanner limit is too small.
-const maxLine = 64 << 20
-
 // FileStore is the JSONL-backed Store: an append-only log on disk
 // mirrored by an in-memory index for queries. Appends go straight to
 // the file, so an interrupted campaign keeps every episode that
 // completed; re-opening folds duplicate (campaign, index) keys and
 // repeated campaign aggregates last-wins, exactly like a log replay.
+// A torn final line — the state a kill -9 mid-append leaves — is
+// dropped and truncated on open, so the next append starts on a clean
+// line boundary (the same rule as runq's journal replay).
 type FileStore struct {
 	mu   sync.Mutex
 	mem  *MemStore
@@ -40,63 +38,71 @@ type FileStore struct {
 }
 
 // Open opens (creating if needed) a JSONL store for reading and
-// appending.
+// appending. A torn final line is cut from the file.
 func Open(path string) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("results: open store: %w", err)
 	}
-	mem, err := readAll(f, path)
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("results: %s: %w", path, err)
+	}
+	mem, good, err := replayStore(raw, path)
 	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	if good < len(raw) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("results: %s: drop torn tail: %w", path, err)
+		}
 	}
 	return &FileStore{mem: mem, f: f, path: path}, nil
 }
 
 // Load reads a JSONL store into memory without holding the file open —
-// the read-only path used by diffs and the campaign service.
+// the read-only path used by diffs and the campaign service. A torn
+// final line is tolerated and ignored (never truncated: the writer
+// that owns the file does that on its next open).
 func Load(path string) (*MemStore, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("results: load store: %w", err)
 	}
-	defer f.Close()
-	return readAll(f, path)
+	mem, _, err := replayStore(raw, path)
+	return mem, err
 }
 
-func readAll(r io.Reader, path string) (*MemStore, error) {
+// replayStore folds envelope lines into a fresh MemStore, returning
+// the clean byte length per the ScanJSONL torn-tail rule.
+func replayStore(raw []byte, path string) (*MemStore, int, error) {
 	mem := NewMemStore()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), maxLine)
-	n := 0
-	for sc.Scan() {
-		n++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	good, err := ScanJSONL(raw, func(lineno int, data []byte) error {
 		var l line
-		if err := json.Unmarshal(raw, &l); err != nil {
-			return nil, fmt.Errorf("results: %s:%d: %w", path, n, err)
+		if err := json.Unmarshal(data, &l); err != nil {
+			return fmt.Errorf("results: %s:%d: %w: %w", path, lineno, ErrMalformedLine, err)
 		}
 		switch {
 		case l.Kind == kindEpisode && l.Episode != nil:
 			if err := mem.Append(*l.Episode); err != nil {
-				return nil, fmt.Errorf("results: %s:%d: %w", path, n, err)
+				return fmt.Errorf("results: %s:%d: %w", path, lineno, err)
 			}
 		case l.Kind == kindCampaign && l.Campaign != nil:
 			if err := mem.PutCampaign(*l.Campaign); err != nil {
-				return nil, fmt.Errorf("results: %s:%d: %w", path, n, err)
+				return fmt.Errorf("results: %s:%d: %w", path, lineno, err)
 			}
 		default:
-			return nil, fmt.Errorf("results: %s:%d: unknown record kind %q", path, n, l.Kind)
+			return fmt.Errorf("results: %s:%d: unknown record kind %q", path, lineno, l.Kind)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("results: %s: %w", path, err)
-	}
-	return mem, nil
+	return mem, good, nil
 }
 
 // Path reports the store's file path.
@@ -146,6 +152,23 @@ func (s *FileStore) Episodes(campaign string) ([]EpisodeRecord, error) {
 
 // EpisodeCampaigns lists campaign names that have episode records.
 func (s *FileStore) EpisodeCampaigns() []string { return s.mem.EpisodeCampaigns() }
+
+// Stats implements StatsProvider: record counts from the in-memory
+// mirror, bytes from the log file itself.
+func (s *FileStore) Stats() (StoreStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.mem.Stats()
+	if err != nil {
+		return StoreStats{}, err
+	}
+	st.Format = FormatJSONL
+	st.Path = s.path
+	if fi, err := s.f.Stat(); err == nil {
+		st.BytesEstimate = fi.Size()
+	}
+	return st, nil
+}
 
 // Sync flushes the log to stable storage.
 func (s *FileStore) Sync() error {

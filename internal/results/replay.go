@@ -1,0 +1,51 @@
+package results
+
+import (
+	"bytes"
+	"errors"
+)
+
+// ErrMalformedLine marks a line-level decode failure that is eligible
+// for torn-tail tolerance: a record cut mid-write by a crash cannot
+// parse, and when nothing but blank bytes follow it, replay drops it
+// instead of failing. A line that parses but carries a semantically
+// invalid record (unknown kind, newer schema) must NOT wrap this
+// error — silently dropping a complete record would lose data.
+var ErrMalformedLine = errors.New("results: malformed line")
+
+// ScanJSONL walks raw line by line, calling fn for every non-blank
+// line, and returns how many leading bytes were consumed cleanly.
+//
+// The torn-tail rule is the one runq's journal replay established: if
+// fn fails with an error wrapping ErrMalformedLine on a line after
+// which only blank bytes remain — the disk state a kill -9 mid-append
+// leaves — scanning stops and that line is excluded from the clean
+// length, with no error. Any other failure, or a malformed line with
+// real content after it, aborts the scan: skipping interior corruption
+// could silently resurrect stale last-wins state.
+//
+// Writers truncate their log to the returned length so the next append
+// starts on a clean line boundary; read-only loads just ignore the
+// tail.
+func ScanJSONL(raw []byte, fn func(lineno int, line []byte) error) (good int, err error) {
+	offset, lineno := 0, 0
+	for offset < len(raw) {
+		end, next := len(raw), len(raw)
+		if nl := bytes.IndexByte(raw[offset:], '\n'); nl >= 0 {
+			end = offset + nl
+			next = end + 1
+		}
+		line := raw[offset:end]
+		lineno++
+		if len(bytes.TrimSpace(line)) > 0 {
+			if err := fn(lineno, line); err != nil {
+				if errors.Is(err, ErrMalformedLine) && len(bytes.TrimSpace(raw[next:])) == 0 {
+					return offset, nil
+				}
+				return 0, err
+			}
+		}
+		offset = next
+	}
+	return offset, nil
+}

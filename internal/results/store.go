@@ -32,12 +32,68 @@ type Store interface {
 	Episodes(campaign string) ([]EpisodeRecord, error)
 }
 
+// DurableStore is a Store with an on-disk lifecycle: flushable and
+// closable. Both persistent backends (the JSONL FileStore and the
+// segmented segstore) implement it; binaries that accept either hold
+// this interface.
+type DurableStore interface {
+	Store
+	Sync() error
+	Close() error
+}
+
+// Store format names reported by Stats and used by the CLI layer's
+// autodetection.
+const (
+	FormatMem      = "mem"
+	FormatJSONL    = "jsonl"
+	FormatSegstore = "segstore"
+)
+
+// StoreStats is a cheap, lock-bounded snapshot of a store's size:
+// what campaignd's GET /stores reports and what parity tests compare
+// across backends. Counts are exact unless Estimated is set (a
+// segmented store whose metadata cannot prove episode distinctness
+// until its compactor runs reports an upper bound).
+type StoreStats struct {
+	Format    string `json:"format"`
+	Path      string `json:"path,omitempty"`
+	Campaigns int    `json:"campaigns"`
+	Episodes  int    `json:"episodes"`
+	// BytesEstimate approximates the store's resident (mem) or
+	// on-disk (file/segstore) footprint.
+	BytesEstimate int64 `json:"bytes_estimate"`
+	Estimated     bool  `json:"estimated,omitempty"`
+}
+
+// StatsProvider is the optional Store extension behind GET /stores.
+type StatsProvider interface {
+	Stats() (StoreStats, error)
+}
+
+// episodeSizeEstimate approximates one record's resident footprint:
+// the struct itself plus string backing. Computed outside store locks
+// so Append's critical section stays map-ops only.
+func episodeSizeEstimate(ep *EpisodeRecord) int64 {
+	return int64(200 + len(ep.Campaign) + len(ep.Scenario))
+}
+
+// campaignSizeEstimate approximates an aggregate's footprint including
+// its per-episode slices.
+func campaignSizeEstimate(c *CampaignRecord) int64 {
+	return int64(160+len(c.Name)+len(c.Scenario)) +
+		8*int64(len(c.Ks)+len(c.KPrimes)+len(c.MinDeltas)+len(c.Predicted)+len(c.Realized)) +
+		int64(len(c.Successes))
+}
+
 // MemStore is the in-memory Store: the test double, the cache layer,
 // and the aggregation scratchpad for Diff.
 type MemStore struct {
 	mu        sync.RWMutex
 	episodes  map[string]map[int]EpisodeRecord
 	campaigns map[string]CampaignRecord
+	nEpisodes int
+	bytes     int64
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -49,10 +105,13 @@ func NewMemStore() *MemStore {
 }
 
 // Append implements Sink. Records from a newer schema are rejected.
+// Validation and size accounting happen before the lock is taken; the
+// critical section is the map insert and two counter updates.
 func (s *MemStore) Append(ep EpisodeRecord) error {
 	if ep.V > Version {
 		return fmt.Errorf("results: episode record v%d is newer than supported v%d", ep.V, Version)
 	}
+	est := episodeSizeEstimate(&ep)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	byIdx := s.episodes[ep.Campaign]
@@ -60,6 +119,12 @@ func (s *MemStore) Append(ep EpisodeRecord) error {
 		byIdx = make(map[int]EpisodeRecord)
 		s.episodes[ep.Campaign] = byIdx
 	}
+	if old, ok := byIdx[ep.Index]; ok {
+		s.bytes -= episodeSizeEstimate(&old)
+	} else {
+		s.nEpisodes++
+	}
+	s.bytes += est
 	byIdx[ep.Index] = ep
 	return nil
 }
@@ -69,8 +134,13 @@ func (s *MemStore) PutCampaign(c CampaignRecord) error {
 	if c.V > Version {
 		return fmt.Errorf("results: campaign record v%d is newer than supported v%d", c.V, Version)
 	}
+	est := campaignSizeEstimate(&c)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if old, ok := s.campaigns[c.Name]; ok {
+		s.bytes -= campaignSizeEstimate(&old)
+	}
+	s.bytes += est
 	s.campaigns[c.Name] = c
 	return nil
 }
@@ -111,4 +181,17 @@ func (s *MemStore) EpisodeCampaigns() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Stats implements StatsProvider. Counts are maintained incrementally
+// on the write path, so this is O(1) under a read lock.
+func (s *MemStore) Stats() (StoreStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return StoreStats{
+		Format:        FormatMem,
+		Campaigns:     len(s.campaigns),
+		Episodes:      s.nEpisodes,
+		BytesEstimate: s.bytes,
+	}, nil
 }

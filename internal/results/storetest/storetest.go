@@ -1,0 +1,399 @@
+// Package storetest is the shared conformance suite for results.Store
+// implementations. Every backend — MemStore, the JSONL FileStore, the
+// segmented segstore — must behave identically under it: same
+// last-wins semantics, same sort orders, same crash-recovery contract,
+// same aggregates out of Diff. New backends wire the suite in rather
+// than re-deriving the contract test by test.
+package storetest
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/sim"
+)
+
+// Factory builds an empty store for one subtest.
+type Factory func(t *testing.T) results.Store
+
+// DurableFactory opens (or reopens) a store rooted at dir.
+type DurableFactory func(t *testing.T, dir string) results.DurableStore
+
+// Episode returns a deterministic, fully-populated record. Distinct
+// (campaign, idx) pairs produce distinct records; the same pair always
+// produces the same bytes.
+func Episode(campaign string, idx int) results.EpisodeRecord {
+	ep := results.EpisodeRecord{
+		V:              results.Version,
+		Campaign:       campaign,
+		Index:          idx,
+		Seed:           1000 + int64(idx),
+		Scenario:       "DS-2",
+		Mode:           core.ModeSmart,
+		ExpectCrashes:  true,
+		Launched:       idx%5 != 4,
+		LaunchFrame:    40 + idx,
+		Vector:         core.VectorDisappear,
+		TargetClass:    sim.ClassPedestrian,
+		K:              14 + idx%7,
+		KPrime:         idx % 3,
+		EB:             idx%2 == 0,
+		Crashed:        idx%3 == 0,
+		MinDelta:       0.1 + 0.2 + float64(idx),
+		DeltaAtLaunch:  25.5,
+		PredictedDelta: 3.25,
+		RealizedDelta:  3.75,
+		Frames:         450 + idx,
+	}
+	if idx%2 == 1 {
+		ep.TargetClass = sim.ClassVehicle
+	}
+	if !ep.Launched {
+		ep.EB, ep.K, ep.KPrime = false, 0, 0
+	}
+	return ep
+}
+
+// Fill appends n episodes (indexes 0..n-1) and the campaign's exact
+// aggregate to the store.
+func Fill(t *testing.T, s results.Store, campaign string, n int) results.CampaignRecord {
+	t.Helper()
+	meta := results.NewCampaign(campaign, "DS-2", core.ModeSmart, true, 7)
+	var eps []results.EpisodeRecord
+	for i := 0; i < n; i++ {
+		ep := Episode(campaign, i)
+		eps = append(eps, ep)
+		if err := s.Append(ep); err != nil {
+			t.Fatalf("append %s/%d: %v", campaign, i, err)
+		}
+	}
+	rec := results.Aggregate(meta, eps)
+	if err := s.PutCampaign(rec); err != nil {
+		t.Fatalf("put campaign %s: %v", campaign, err)
+	}
+	return rec
+}
+
+// Run exercises the Store contract against a fresh store per subtest.
+func Run(t *testing.T, factory Factory) {
+	t.Run("AppendListQuery", func(t *testing.T) {
+		s := factory(t)
+		recB := Fill(t, s, "b", 3)
+		recA := Fill(t, s, "a", 2)
+		names, err := s.Campaigns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 2 || names[0].Name != "a" || names[1].Name != "b" {
+			t.Fatalf("Campaigns = %+v, want [a b]", names)
+		}
+		if !reflect.DeepEqual(names[0], recA) || !reflect.DeepEqual(names[1], recB) {
+			t.Errorf("stored aggregates differ from submitted ones")
+		}
+		eps, err := s.Episodes("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) != 3 {
+			t.Fatalf("Episodes(b) returned %d records, want 3", len(eps))
+		}
+		for i, ep := range eps {
+			if want := Episode("b", i); !reflect.DeepEqual(ep, want) {
+				t.Errorf("episode %d:\n got %+v\nwant %+v", i, ep, want)
+			}
+		}
+	})
+
+	t.Run("EmptyCampaignYieldsEmptySlice", func(t *testing.T) {
+		s := factory(t)
+		eps, err := s.Episodes("nonesuch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eps == nil || len(eps) != 0 {
+			t.Fatalf("Episodes(nonesuch) = %#v, want empty non-nil slice", eps)
+		}
+	})
+
+	t.Run("ReappendReplacesByIndex", func(t *testing.T) {
+		s := factory(t)
+		Fill(t, s, "c", 4)
+		repl := Episode("c", 2)
+		repl.Frames = 9999
+		if err := s.Append(repl); err != nil {
+			t.Fatal(err)
+		}
+		eps, err := s.Episodes("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) != 4 {
+			t.Fatalf("re-append changed the count: %d, want 4", len(eps))
+		}
+		if eps[2].Frames != 9999 {
+			t.Errorf("re-append did not replace: frames = %d, want 9999", eps[2].Frames)
+		}
+	})
+
+	t.Run("EpisodesSortedByIndex", func(t *testing.T) {
+		s := factory(t)
+		for _, idx := range []int{5, 1, 3, 0, 4, 2} {
+			if err := s.Append(Episode("shuf", idx)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eps, err := s.Episodes("shuf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ep := range eps {
+			if ep.Index != i {
+				t.Fatalf("episode %d has index %d; not sorted", i, ep.Index)
+			}
+		}
+	})
+
+	t.Run("PutCampaignUpserts", func(t *testing.T) {
+		s := factory(t)
+		rec := Fill(t, s, "up", 2)
+		rec.Runs = 42
+		if err := s.PutCampaign(rec); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := s.Campaigns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Runs != 42 {
+			t.Fatalf("upsert not last-wins: %+v", recs)
+		}
+	})
+
+	t.Run("RejectsNewerSchema", func(t *testing.T) {
+		s := factory(t)
+		ep := Episode("v", 0)
+		ep.V = results.Version + 1
+		if err := s.Append(ep); err == nil {
+			t.Error("Append accepted a record from a newer schema")
+		}
+		c := results.NewCampaign("v", "DS-2", core.ModeSmart, true, 0)
+		c.V = results.Version + 1
+		if err := s.PutCampaign(c); err == nil {
+			t.Error("PutCampaign accepted a record from a newer schema")
+		}
+	})
+
+	t.Run("AggregateForRebuildsFromEpisodes", func(t *testing.T) {
+		s := factory(t)
+		// Episodes without a stored aggregate: the interrupted-run shape.
+		var eps []results.EpisodeRecord
+		for i := 0; i < 6; i++ {
+			ep := Episode("orphan", i)
+			eps = append(eps, ep)
+			if err := s.Append(ep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := results.AggregateFor(s, "orphan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := results.NewCampaign("orphan", eps[0].Scenario, eps[0].Mode, eps[0].ExpectCrashes, 0)
+		want := results.Aggregate(meta, eps)
+		if got == nil || !reflect.DeepEqual(*got, want) {
+			t.Errorf("AggregateFor:\n got %+v\nwant %+v", got, &want)
+		}
+	})
+}
+
+// RunDurable exercises the on-disk lifecycle: records survive a close
+// and reopen bit for bit, and a torn tail — the state a kill -9
+// mid-append leaves — is dropped without harming earlier records.
+// corrupt appends a torn (unterminated, unparsable) tail to the
+// store's current append target inside dir.
+func RunDurable(t *testing.T, open DurableFactory, corrupt func(t *testing.T, dir string)) {
+	t.Run("ReopenRoundTrip", func(t *testing.T) {
+		dir := t.TempDir()
+		s := open(t, dir)
+		want := Fill(t, s, "keep", 25)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s = open(t, dir)
+		defer s.Close()
+		recs, err := s.Campaigns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || !reflect.DeepEqual(recs[0], want) {
+			t.Fatalf("aggregate changed across reopen:\n got %+v\nwant %+v", recs, want)
+		}
+		eps, err := s.Episodes("keep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) != 25 {
+			t.Fatalf("got %d episodes after reopen, want 25", len(eps))
+		}
+		for i, ep := range eps {
+			if want := Episode("keep", i); !reflect.DeepEqual(ep, want) {
+				t.Fatalf("episode %d changed across reopen:\n got %+v\nwant %+v", i, ep, want)
+			}
+		}
+	})
+
+	t.Run("TornTailDroppedOnReopen", func(t *testing.T) {
+		dir := t.TempDir()
+		s := open(t, dir)
+		Fill(t, s, "torn", 10)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		corrupt(t, dir)
+		s = open(t, dir)
+		eps, err := s.Episodes("torn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) != 10 {
+			t.Fatalf("torn tail harmed earlier records: %d episodes, want 10", len(eps))
+		}
+		// The writer truncates the tail, so appending resumes cleanly.
+		if err := s.Append(Episode("torn", 10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s = open(t, dir)
+		defer s.Close()
+		eps, err = s.Episodes("torn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) != 11 {
+			t.Fatalf("append after torn-tail recovery lost records: %d, want 11", len(eps))
+		}
+		for i, ep := range eps {
+			if want := Episode("torn", i); !reflect.DeepEqual(ep, want) {
+				t.Fatalf("episode %d corrupted:\n got %+v\nwant %+v", i, ep, want)
+			}
+		}
+	})
+}
+
+// genCampaign writes one pseudo-random campaign (records driven by rng,
+// but reproducible for a given seed) into every store identically.
+func genCampaign(t *testing.T, rng *rand.Rand, name string, stores ...results.Store) {
+	t.Helper()
+	n := 3 + rng.Intn(20)
+	mode := core.ModeSmart
+	if rng.Intn(2) == 0 {
+		mode = core.ModeRandom
+	}
+	expect := rng.Intn(2) == 0
+	var eps []results.EpisodeRecord
+	for i := 0; i < n; i++ {
+		ep := Episode(name, i)
+		ep.Mode = mode
+		ep.ExpectCrashes = expect
+		ep.Seed = rng.Int63()
+		ep.MinDelta = rng.Float64() * 30
+		ep.Launched = rng.Intn(4) != 0
+		if !ep.Launched {
+			ep.EB, ep.K, ep.KPrime = false, 0, 0
+		}
+		eps = append(eps, ep)
+	}
+	// Half the campaigns also store their aggregate; the rest exercise
+	// the re-aggregation path in Diff.
+	withAgg := rng.Intn(2) == 0
+	meta := results.NewCampaign(name, "DS-2", mode, expect, 7)
+	rec := results.Aggregate(meta, eps)
+	for _, s := range stores {
+		for _, ep := range eps {
+			if err := s.Append(ep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if withAgg {
+			if err := s.PutCampaign(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// RunDiffParity checks that heterogeneous stores holding the same
+// records diff to zero: every campaign present on both sides, every
+// delta zero, aggregates DeepEqual — including campaigns that never
+// stored an aggregate and must be rebuilt from episodes by each
+// backend's own path (MemStore's fold, segstore's partial-aggregate
+// merge).
+func RunDiffParity(t *testing.T, factories map[string]Factory) {
+	namesOf := func() []string {
+		out := make([]string, 0, len(factories))
+		for n := range factories {
+			out = append(out, n)
+		}
+		return out
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		stores := map[string]results.Store{}
+		for name, f := range factories {
+			stores[name] = f(t)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		all := make([]results.Store, 0, len(stores))
+		for _, n := range namesOf() {
+			all = append(all, stores[n])
+		}
+		for c := 0; c < 5; c++ {
+			genCampaign(t, rng, campaignName(seed, c), all...)
+		}
+		names := namesOf()
+		for i := 0; i < len(names); i++ {
+			for j := 0; j < len(names); j++ {
+				if i == j {
+					continue
+				}
+				a, b := stores[names[i]], stores[names[j]]
+				diffs, err := results.Diff(a, b)
+				if err != nil {
+					t.Fatalf("seed %d: Diff(%s, %s): %v", seed, names[i], names[j], err)
+				}
+				if len(diffs) != 5 {
+					t.Fatalf("seed %d: Diff(%s, %s) covered %d campaigns, want 5", seed, names[i], names[j], len(diffs))
+				}
+				for _, d := range diffs {
+					if d.A == nil || d.B == nil {
+						t.Fatalf("seed %d: %s missing from one side of Diff(%s, %s)", seed, d.Name, names[i], names[j])
+					}
+					if !reflect.DeepEqual(d.A, d.B) {
+						t.Errorf("seed %d: %s aggregates differ between %s and %s:\n a %+v\n b %+v",
+							seed, d.Name, names[i], names[j], d.A, d.B)
+					}
+					if d.RunsDelta != 0 || d.EBRateDelta != 0 || d.CrashRateDelta != 0 {
+						t.Errorf("seed %d: %s has nonzero deltas between %s and %s: %+v",
+							seed, d.Name, names[i], names[j], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func campaignName(seed int64, c int) string {
+	// Exercise shard-name escaping too: spaces, slashes, unicode.
+	switch c {
+	case 1:
+		return "sweep/DS-2 v" + string(rune('a'+seed))
+	case 2:
+		return "δ-camp." + string(rune('0'+c))
+	default:
+		return "camp-" + string(rune('0'+seed)) + "-" + string(rune('0'+c))
+	}
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package segstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking flock on the store's lock
+// file: two writers on one store directory would interleave segment
+// appends and race the compactor's generation swap. The lock dies with
+// the file descriptor, so a kill -9 never leaves a stale lock behind
+// (the same discipline as runq's queue.lock).
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("store dir is locked by another process: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package segstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/robotack/robotack/internal/results"
+)
+
+// MigrateFromJSONL streams a FileStore log into a fresh segstore
+// directory — the one-shot `robotack-store migrate` path. Records
+// stream line by line (a million-episode log never loads whole);
+// episodes append in file order, so a log whose episodes were written
+// in index order (the normal case) lands directly on the sorted fast
+// path. The destination must be empty or nonexistent: migration never
+// merges into live data. A torn final line in the source is tolerated,
+// matching the readers.
+func MigrateFromJSONL(src, dst string, opts ...Option) (migrated results.StoreStats, err error) {
+	fi, statErr := os.Stat(dst)
+	if statErr == nil && fi.IsDir() {
+		entries, err := os.ReadDir(dst)
+		if err != nil {
+			return results.StoreStats{}, fmt.Errorf("segstore: migrate: %w", err)
+		}
+		if len(entries) > 0 {
+			return results.StoreStats{}, fmt.Errorf("segstore: migrate: destination %s is not empty", dst)
+		}
+	} else if statErr == nil {
+		return results.StoreStats{}, fmt.Errorf("segstore: migrate: destination %s exists and is not a directory", dst)
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return results.StoreStats{}, fmt.Errorf("segstore: migrate: %w", err)
+	}
+	defer f.Close()
+
+	store, err := Open(dst, opts...)
+	if err != nil {
+		return results.StoreStats{}, err
+	}
+	defer func() {
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	type envelope struct {
+		Kind     string                  `json:"kind"`
+		Episode  *results.EpisodeRecord  `json:"episode,omitempty"`
+		Campaign *results.CampaignRecord `json:"campaign,omitempty"`
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	lineno := 0
+	for {
+		line, rerr := r.ReadBytes('\n')
+		atEOF := errors.Is(rerr, io.EOF)
+		if rerr != nil && !atEOF {
+			return results.StoreStats{}, fmt.Errorf("segstore: migrate: read %s: %w", src, rerr)
+		}
+		lineno++
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var l envelope
+			if jerr := json.Unmarshal(trimmed, &l); jerr != nil {
+				if atEOF {
+					break // torn tail from a crashed writer: tolerated
+				}
+				return results.StoreStats{}, fmt.Errorf("segstore: migrate: %s:%d: %w", src, lineno, jerr)
+			}
+			switch {
+			case l.Kind == "episode" && l.Episode != nil:
+				if aerr := store.Append(*l.Episode); aerr != nil {
+					return results.StoreStats{}, fmt.Errorf("segstore: migrate: %s:%d: %w", src, lineno, aerr)
+				}
+			case l.Kind == kindCampaign && l.Campaign != nil:
+				if perr := store.PutCampaign(*l.Campaign); perr != nil {
+					return results.StoreStats{}, fmt.Errorf("segstore: migrate: %s:%d: %w", src, lineno, perr)
+				}
+			default:
+				return results.StoreStats{}, fmt.Errorf("segstore: migrate: %s:%d: unknown record kind %q", src, lineno, l.Kind)
+			}
+		}
+		if atEOF {
+			break
+		}
+	}
+	if err := store.Sync(); err != nil {
+		return results.StoreStats{}, err
+	}
+	return store.Stats()
+}

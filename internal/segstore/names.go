@@ -1,0 +1,72 @@
+package segstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Campaign names are user-chosen strings; shard directories must be
+// filesystem-safe on every platform and reversible, so EpisodeCampaigns
+// can list campaigns from the directory tree alone. The escaping is
+// percent-encoding with a conservative safe set: ASCII letters, digits,
+// '.', '_' and '-' pass through (except a leading '.', which would
+// collide with hidden/reserved names), everything else — including '/',
+// '%' and all non-ASCII bytes — becomes %XX.
+
+const nameSafe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+
+// escapeName maps a campaign name to its shard directory name. The
+// empty name encodes as a lone "%", which no non-empty name produces
+// (every escape is a full %XX pair).
+func escapeName(name string) string {
+	if name == "" {
+		return "%"
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if strings.IndexByte(nameSafe, c) >= 0 && !(i == 0 && c == '.') {
+			b.WriteByte(c)
+			continue
+		}
+		fmt.Fprintf(&b, "%%%02X", c)
+	}
+	return b.String()
+}
+
+// unescapeName inverts escapeName.
+func unescapeName(dir string) (string, error) {
+	if dir == "%" {
+		return "", nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(dir); i++ {
+		c := dir[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(dir) {
+			return "", fmt.Errorf("segstore: truncated escape in shard dir %q", dir)
+		}
+		hi, lo := hexVal(dir[i+1]), hexVal(dir[i+2])
+		if hi < 0 || lo < 0 {
+			return "", fmt.Errorf("segstore: bad escape in shard dir %q", dir)
+		}
+		b.WriteByte(byte(hi<<4 | lo))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return -1
+}

@@ -1,0 +1,836 @@
+// Package segstore is the segmented, indexed results backend for
+// million-episode sweeps. The JSONL FileStore re-parses its entire log
+// on every open and holds every record in memory; a segstore directory
+// shards records by campaign, rolls each shard's append-only segment
+// file at a size threshold, and keeps a compact binary index (count,
+// episode-index range, byte length, partial aggregate) per sealed
+// segment plus a per-shard MANIFEST of those headers. Opening reads
+// campaign aggregates and index metadata — not records — so open time
+// and campaign queries stay flat as the store grows; a background
+// compactor rewrites a shard (last-wins, index order) whenever
+// out-of-order re-appends break its sorted fast path.
+//
+// It is a drop-in results.DurableStore with FileStore's crash-safety
+// contract: appends are visible after a kill -9, a torn final line is
+// dropped and truncated on the next writer open, and resuming a
+// campaign produces aggregates bit-identical to an uninterrupted run.
+package segstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/robotack/robotack/internal/results"
+)
+
+const (
+	// markerFile identifies a directory as a segstore (and carries the
+	// layout version for future migrations).
+	markerFile = "segstore.json"
+	// lockFileName is the store's exclusivity lock — its own file, never
+	// renamed, so generation swaps and log compaction happen underneath
+	// it (the runq queue.lock discipline).
+	lockFileName = "store.lock"
+	// campaignsFile is the aggregates log at the store root: the same
+	// last-wins JSONL envelope as FileStore, holding only campaign
+	// records (episodes live in the shards).
+	campaignsFile = "campaigns.jsonl"
+	// shardsDir holds one directory per campaign.
+	shardsDir = "c"
+
+	// DefaultSegmentBytes is the roll threshold for active segments.
+	DefaultSegmentBytes = 4 << 20
+
+	// logCompactMin and logCompactRatio gate campaigns.jsonl rewrites:
+	// compact when the log tops the minimum and is mostly dead upserts.
+	logCompactMin   = 1 << 16
+	logCompactRatio = 3
+)
+
+type marker struct {
+	V int `json:"v"`
+}
+
+// logLine is the campaigns.jsonl envelope — identical on the wire to
+// FileStore's campaign lines, so migrated aggregates are byte-familiar.
+type logLine struct {
+	Kind     string                  `json:"kind"`
+	Campaign *results.CampaignRecord `json:"campaign,omitempty"`
+}
+
+const kindCampaign = "campaign"
+
+// OpenStats reports what Open had to read: the proof that the store is
+// index-driven. A clean reopen scans (nearly) zero raw bytes no matter
+// how many records it holds.
+type OpenStats struct {
+	// ScannedBytes is raw segment data parsed line by line (un-indexed
+	// active tails, segments with missing or stale indexes).
+	ScannedBytes int64
+	// IndexBytes is metadata read instead: manifests, segment indexes,
+	// and the campaigns log.
+	IndexBytes int64
+	// Segments is the live segment-file count across shards.
+	Segments int
+}
+
+// Option configures Open and Load.
+type Option func(*Store)
+
+// WithSegmentBytes overrides the segment roll threshold (tests use
+// small values to force multi-segment shards).
+func WithSegmentBytes(n int64) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.segBytes = n
+		}
+	}
+}
+
+// WithErrorLog routes background-compaction failures to fn (the store
+// has no logger of its own; robotack-serve wires this to its slog). A
+// failed rewrite is not data loss — the shard stays correct on the
+// fold path and the next fast-path-breaking append retries — but an
+// operator should hear about a disk that keeps refusing rewrites.
+func WithErrorLog(fn func(campaign string, err error)) Option {
+	return func(s *Store) { s.logErr = fn }
+}
+
+// Store is the segmented results backend. It implements
+// results.DurableStore plus the optional StatsProvider, Aggregator and
+// episode-listing extensions.
+type Store struct {
+	dir      string
+	ro       bool
+	segBytes int64
+	lockF    *os.File
+
+	// mu guards the shard and campaign maps; each shard carries its own
+	// mutex for segment state. Lock order: logMu → mu → shard.mu.
+	mu        sync.RWMutex
+	shards    map[string]*shard
+	campaigns map[string]results.CampaignRecord
+
+	// logMu serializes campaigns.jsonl appends and compaction.
+	logMu     sync.Mutex
+	logF      *os.File
+	logBytes  int64
+	liveBytes map[string]int64 // per-campaign live line length
+
+	compactMu     sync.Mutex
+	compactCh     chan *shard
+	compactClosed bool
+	wg            sync.WaitGroup
+
+	closed    atomic.Bool
+	openStats OpenStats
+	logErr    func(campaign string, err error)
+}
+
+// Open opens (creating if needed) a segstore directory for reading and
+// appending, taking an exclusive lock on it. Torn tails anywhere — the
+// campaigns log or any segment — are dropped and truncated, exactly
+// like FileStore and the runq journal.
+func Open(dir string, opts ...Option) (*Store, error) { return open(dir, false, opts...) }
+
+// Load opens a segstore directory read-only, without locking it: the
+// diff/compare path, usable while another process owns the store. Torn
+// tails are tolerated and ignored, never repaired.
+func Load(dir string, opts ...Option) (*Store, error) { return open(dir, true, opts...) }
+
+func open(dir string, ro bool, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:       dir,
+		ro:        ro,
+		segBytes:  DefaultSegmentBytes,
+		shards:    make(map[string]*shard),
+		campaigns: make(map[string]results.CampaignRecord),
+		liveBytes: make(map[string]int64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if !ro {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("segstore: create store dir: %w", err)
+		}
+	}
+	if err := s.checkMarker(); err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Store, error) {
+		if s.logF != nil {
+			s.logF.Close()
+		}
+		if s.lockF != nil {
+			s.lockF.Close()
+		}
+		return nil, err
+	}
+	if !ro {
+		lockPath := filepath.Join(dir, lockFileName)
+		lf, err := os.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fail(fmt.Errorf("segstore: open lock: %w", err))
+		}
+		if err := lockFile(lf); err != nil {
+			lf.Close()
+			s.lockF = nil
+			return fail(fmt.Errorf("segstore: %s: %w", lockPath, err))
+		}
+		s.lockF = lf
+	}
+	if err := s.openLog(); err != nil {
+		return fail(err)
+	}
+	if err := s.openShards(); err != nil {
+		return fail(err)
+	}
+	s.openStats.Segments = s.segmentCount()
+	gaugeAdd(gSegments, float64(s.openStats.Segments))
+	gaugeAdd(gBytes, float64(s.recordBytes()))
+	if !ro {
+		s.compactCh = make(chan *shard, 64)
+		s.wg.Add(1)
+		go s.compactor()
+		// Shards that lost their fast path before the last shutdown get
+		// repaired now rather than on their next unlucky query.
+		s.mu.RLock()
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			if !sh.fastPath() {
+				s.enqueueCompactLocked(sh)
+			}
+			sh.mu.Unlock()
+		}
+		s.mu.RUnlock()
+	}
+	return s, nil
+}
+
+// checkMarker verifies (or, for a new writer dir, creates) the
+// segstore.json layout marker. A non-empty directory without the
+// marker is refused rather than adopted: pointing -store-dir at a
+// random directory must not scribble a store into it.
+func (s *Store) checkMarker() error {
+	path := filepath.Join(s.dir, markerFile)
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		var m marker
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return fmt.Errorf("segstore: %s: %w", path, err)
+		}
+		if m.V > 1 {
+			return fmt.Errorf("segstore: %s: layout v%d is newer than supported v1", path, m.V)
+		}
+		return nil
+	}
+	if s.ro {
+		return fmt.Errorf("segstore: %s is not a segstore directory (no %s)", s.dir, markerFile)
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("segstore: read store dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.Name() != lockFileName {
+			return fmt.Errorf("segstore: refusing to initialize non-empty directory %s", s.dir)
+		}
+	}
+	return writeFileAtomic(path, []byte("{\"v\":1}\n"))
+}
+
+// openLog replays campaigns.jsonl into the aggregate map.
+func (s *Store) openLog() error {
+	path := filepath.Join(s.dir, campaignsFile)
+	var raw []byte
+	if s.ro {
+		b, err := os.ReadFile(path)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("segstore: %s: %w", path, err)
+		}
+		raw = b
+	} else {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("segstore: open campaigns log: %w", err)
+		}
+		s.logF = f
+		if raw, err = io.ReadAll(f); err != nil {
+			return fmt.Errorf("segstore: %s: %w", path, err)
+		}
+	}
+	good, err := results.ScanJSONL(raw, func(lineno int, line []byte) error {
+		var l logLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return fmt.Errorf("segstore: %s:%d: %w: %w", path, lineno, results.ErrMalformedLine, err)
+		}
+		if l.Kind != kindCampaign || l.Campaign == nil {
+			return fmt.Errorf("segstore: %s:%d: unknown record kind %q", path, lineno, l.Kind)
+		}
+		if l.Campaign.V > results.Version {
+			return fmt.Errorf("segstore: %s:%d: campaign record v%d is newer than supported v%d",
+				path, lineno, l.Campaign.V, results.Version)
+		}
+		s.campaigns[l.Campaign.Name] = *l.Campaign
+		s.liveBytes[l.Campaign.Name] = int64(len(line)) + 1
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !s.ro && good < len(raw) {
+		if err := s.logF.Truncate(int64(good)); err != nil {
+			return fmt.Errorf("segstore: %s: drop torn tail: %w", path, err)
+		}
+	}
+	s.logBytes = int64(good)
+	s.openStats.IndexBytes += int64(good)
+	return nil
+}
+
+// openShards recovers every campaign shard under c/.
+func (s *Store) openShards() error {
+	root := filepath.Join(s.dir, shardsDir)
+	entries, err := os.ReadDir(root)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("segstore: read shards dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := unescapeName(e.Name())
+		if err != nil {
+			return err
+		}
+		sh, scanned, idxBytes, err := openShard(filepath.Join(root, e.Name()), name, s.ro)
+		if err != nil {
+			return err
+		}
+		s.shards[name] = sh
+		s.openStats.ScannedBytes += scanned
+		s.openStats.IndexBytes += idxBytes
+	}
+	countN(mOpenScanned, s.openStats.ScannedBytes)
+	return nil
+}
+
+// OpenStats reports what this store's open had to read.
+func (s *Store) OpenStats() OpenStats { return s.openStats }
+
+// Dir reports the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) segmentCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.sealed) + 1
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (s *Store) recordBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		b += sh.bytes()
+		sh.mu.Unlock()
+	}
+	return b + s.logBytes
+}
+
+var errReadOnly = errors.New("segstore: store is read-only")
+var errClosed = errors.New("segstore: store is closed")
+
+// getShard returns the campaign's shard, creating its directory tree
+// on first append.
+func (s *Store) getShard(name string, create bool) (*shard, error) {
+	s.mu.RLock()
+	sh := s.shards[name]
+	s.mu.RUnlock()
+	if sh != nil || !create {
+		return sh, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh = s.shards[name]; sh != nil {
+		return sh, nil
+	}
+	dir := filepath.Join(s.dir, shardsDir, escapeName(name))
+	genDir := filepath.Join(dir, genName(0))
+	if err := os.MkdirAll(genDir, 0o755); err != nil {
+		return nil, fmt.Errorf("segstore: create shard: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, currentFile), []byte(genName(0)+"\n")); err != nil {
+		return nil, err
+	}
+	sh = &shard{
+		name:       name,
+		dir:        dir,
+		gen:        0,
+		genDir:     genDir,
+		active:     segMeta{seq: 0, sorted: true},
+		sealedFast: true,
+	}
+	s.shards[name] = sh
+	gaugeAdd(gSegments, 1)
+	return sh, nil
+}
+
+// Append implements results.Sink. The record is on disk (modulo OS
+// buffering, as with FileStore) before it is visible to queries.
+func (s *Store) Append(ep results.EpisodeRecord) error {
+	if s.ro {
+		return errReadOnly
+	}
+	if s.closed.Load() {
+		return errClosed
+	}
+	if ep.V > results.Version {
+		return fmt.Errorf("segstore: episode record v%d is newer than supported v%d", ep.V, results.Version)
+	}
+	raw, err := json.Marshal(ep)
+	if err != nil {
+		return fmt.Errorf("segstore: encode episode: %w", err)
+	}
+	raw = append(raw, '\n')
+	sh, err := s.getShard(ep.Campaign, true)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.openWriter(); err != nil {
+		return err
+	}
+	if _, err := sh.w.Write(raw); err != nil {
+		return fmt.Errorf("segstore: append to %s: %w", sh.segPath(sh.active.seq), err)
+	}
+	wasFast := sh.fastPath()
+	foldAppend(&sh.active, &sh.activeAgg, &ep)
+	sh.active.bytes += int64(len(raw))
+	count(mAppends)
+	gaugeAdd(gBytes, float64(len(raw)))
+	if sh.active.bytes >= s.segBytes {
+		if err := sh.seal(); err != nil {
+			return err
+		}
+		count(mRolls)
+		gaugeAdd(gSegments, 1)
+	}
+	if wasFast && !sh.fastPath() {
+		// An out-of-order re-append (a worker retry after resume) broke
+		// the sorted invariant; the compactor restores it off-line.
+		s.enqueueCompactLocked(sh)
+	}
+	return nil
+}
+
+// PutCampaign implements results.Store: aggregates append to the
+// campaigns log (last-wins on replay) and the log is rewritten in
+// place — staged and renamed, runq-style — once it is mostly dead
+// upserts.
+func (s *Store) PutCampaign(c results.CampaignRecord) error {
+	if s.ro {
+		return errReadOnly
+	}
+	if s.closed.Load() {
+		return errClosed
+	}
+	if c.V > results.Version {
+		return fmt.Errorf("segstore: campaign record v%d is newer than supported v%d", c.V, results.Version)
+	}
+	raw, err := json.Marshal(logLine{Kind: kindCampaign, Campaign: &c})
+	if err != nil {
+		return fmt.Errorf("segstore: encode campaign: %w", err)
+	}
+	raw = append(raw, '\n')
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if _, err := s.logF.Write(raw); err != nil {
+		return fmt.Errorf("segstore: append campaign: %w", err)
+	}
+	s.logBytes += int64(len(raw))
+	s.mu.Lock()
+	s.campaigns[c.Name] = c
+	s.mu.Unlock()
+	s.liveBytes[c.Name] = int64(len(raw))
+	var live int64
+	for _, n := range s.liveBytes {
+		live += n
+	}
+	if s.logBytes > logCompactMin && s.logBytes > logCompactRatio*live {
+		return s.compactLogLocked()
+	}
+	return nil
+}
+
+// compactLogLocked rewrites campaigns.jsonl to one line per campaign
+// (caller holds logMu).
+func (s *Store) compactLogLocked() error {
+	s.mu.RLock()
+	recs := make([]results.CampaignRecord, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		recs = append(recs, c)
+	}
+	s.mu.RUnlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	var buf []byte
+	live := make(map[string]int64, len(recs))
+	for i := range recs {
+		raw, err := json.Marshal(logLine{Kind: kindCampaign, Campaign: &recs[i]})
+		if err != nil {
+			return fmt.Errorf("segstore: encode campaign: %w", err)
+		}
+		buf = append(buf, raw...)
+		buf = append(buf, '\n')
+		live[recs[i].Name] = int64(len(raw)) + 1
+	}
+	path := filepath.Join(s.dir, campaignsFile)
+	if err := writeFileAtomic(path, buf); err != nil {
+		return err
+	}
+	s.logF.Close() // old inode is gone from the directory
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("segstore: reopen campaigns log: %w", err)
+	}
+	s.logF = f
+	s.logBytes = int64(len(buf))
+	s.liveBytes = live
+	return nil
+}
+
+// Campaigns implements results.Store.
+func (s *Store) Campaigns() ([]results.CampaignRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]results.CampaignRecord, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Episodes implements results.Store: only the named campaign's shard
+// is read. On the sorted fast path segments concatenate directly; a
+// shard with duplicate keys falls back to the last-wins fold.
+func (s *Store) Episodes(campaign string) ([]results.EpisodeRecord, error) {
+	sh, err := s.getShard(campaign, false)
+	if sh == nil || err != nil {
+		return []results.EpisodeRecord{}, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.episodesLocked(sh)
+}
+
+func (s *Store) episodesLocked(sh *shard) ([]results.EpisodeRecord, error) {
+	n, _ := sh.episodes()
+	if n == 0 {
+		return []results.EpisodeRecord{}, nil
+	}
+	fast := sh.fastPath()
+	if fast {
+		count(mIndexHits)
+	} else {
+		count(mRawScans)
+	}
+	out := make([]results.EpisodeRecord, 0, n)
+	var fold map[int]results.EpisodeRecord
+	if !fast {
+		fold = make(map[int]results.EpisodeRecord, n)
+	}
+	read := func(seq int) error {
+		raw, err := os.ReadFile(sh.segPath(seq))
+		if err != nil {
+			return fmt.Errorf("segstore: read segment: %w", err)
+		}
+		_, err = results.ScanJSONL(raw, func(lineno int, line []byte) error {
+			var ep results.EpisodeRecord
+			if err := json.Unmarshal(line, &ep); err != nil {
+				return fmt.Errorf("%w: %w", results.ErrMalformedLine, err)
+			}
+			if fast {
+				out = append(out, ep)
+			} else {
+				fold[ep.Index] = ep
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("segstore: %s: %w", sh.segPath(seq), err)
+		}
+		return nil
+	}
+	for i := range sh.sealed {
+		if sh.sealed[i].n == 0 {
+			continue
+		}
+		if err := read(sh.sealed[i].seq); err != nil {
+			return nil, err
+		}
+	}
+	if sh.active.n > 0 {
+		if err := read(sh.active.seq); err != nil {
+			return nil, err
+		}
+	}
+	if fast {
+		return out, nil
+	}
+	for _, ep := range fold {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, nil
+}
+
+// EpisodeCampaigns lists campaign names holding episode records.
+func (s *Store) EpisodeCampaigns() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.shards))
+	for name, sh := range s.shards {
+		sh.mu.Lock()
+		n, _ := sh.episodes()
+		sh.mu.Unlock()
+		if n > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AggregateEpisodes implements results.Aggregator: on the fast path a
+// campaign's aggregate is the merge of its segments' partial
+// aggregates — index metadata, not records. The result is exactly what
+// results.Aggregate produces from Episodes (same fold, same order).
+func (s *Store) AggregateEpisodes(name string) (*results.CampaignRecord, error) {
+	sh, err := s.getShard(name, false)
+	if sh == nil || err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, _ := sh.episodes()
+	if n == 0 {
+		return nil, nil
+	}
+	if sh.fastPath() {
+		if agg, err := s.mergeAggsLocked(sh); err != nil {
+			return nil, err
+		} else if agg != nil {
+			count(mIndexHits)
+			return agg, nil
+		}
+	}
+	count(mRawScans)
+	eps, err := s.episodesLocked(sh)
+	if err != nil {
+		return nil, err
+	}
+	if len(eps) == 0 {
+		return nil, nil
+	}
+	meta := results.NewCampaign(name, eps[0].Scenario, eps[0].Mode, eps[0].ExpectCrashes, 0)
+	rec := results.Aggregate(meta, eps)
+	return &rec, nil
+}
+
+// mergeAggsLocked merges per-segment partial aggregates in segment
+// order. Fold gates per-episode fields on the aggregate's identity
+// (mode, crash eligibility), so the merge is exact if and only if all
+// segments agree on that identity; mixed-identity shards return nil
+// and take the raw fold instead.
+func (s *Store) mergeAggsLocked(sh *shard) (*results.CampaignRecord, error) {
+	aggs := make([]*results.CampaignRecord, 0, len(sh.sealed)+1)
+	for i := range sh.sealed {
+		if sh.sealed[i].n == 0 {
+			continue
+		}
+		a, err := s.shardSealedAgg(sh, i)
+		if err != nil {
+			return nil, err
+		}
+		if a == nil {
+			return nil, nil
+		}
+		aggs = append(aggs, a)
+	}
+	if sh.active.n > 0 {
+		// After a reopen the active aggregate is rebuilt on demand — one
+		// segment scan, bounded by the roll threshold.
+		if err := sh.ensureActiveAgg(); err != nil {
+			return nil, err
+		}
+		if sh.activeAgg == nil {
+			return nil, nil
+		}
+		aggs = append(aggs, sh.activeAgg)
+	}
+	if len(aggs) == 0 {
+		return nil, nil
+	}
+	first := aggs[0]
+	out := results.NewCampaign(sh.name, first.Scenario, first.Mode, first.ExpectCrashes, 0)
+	for _, a := range aggs {
+		if a.Scenario != out.Scenario || a.Mode != out.Mode || a.ExpectCrashes != out.ExpectCrashes {
+			return nil, nil
+		}
+		out.Runs += a.Runs
+		out.Launched += a.Launched
+		out.EBs += a.EBs
+		out.Crashes += a.Crashes
+		out.PedLaunched += a.PedLaunched
+		out.PedEBs += a.PedEBs
+		out.VehLaunched += a.VehLaunched
+		out.VehEBs += a.VehEBs
+		out.Ks = append(out.Ks, a.Ks...)
+		out.KPrimes = append(out.KPrimes, a.KPrimes...)
+		out.MinDeltas = append(out.MinDeltas, a.MinDeltas...)
+		out.Predicted = append(out.Predicted, a.Predicted...)
+		out.Realized = append(out.Realized, a.Realized...)
+		out.Successes = append(out.Successes, a.Successes...)
+	}
+	return &out, nil
+}
+
+// shardSealedAgg wraps shard.sealedAgg with the store's read-only rule
+// (never repair indexes from the read path).
+func (s *Store) shardSealedAgg(sh *shard, i int) (*results.CampaignRecord, error) {
+	return sh.sealedAgg(i)
+}
+
+// Stats implements results.StatsProvider from metadata alone. Episode
+// counts are exact when every shard's fast path proves its keys
+// distinct; a shard awaiting compaction reports an upper bound and
+// flips Estimated.
+func (s *Store) Stats() (results.StoreStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := results.StoreStats{
+		Format:    results.FormatSegstore,
+		Path:      s.dir,
+		Campaigns: len(s.campaigns),
+	}
+	st.BytesEstimate = s.logBytes
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n, exact := sh.episodes()
+		st.Episodes += n
+		st.BytesEstimate += sh.bytes()
+		sh.mu.Unlock()
+		if !exact {
+			st.Estimated = true
+		}
+	}
+	return st, nil
+}
+
+// Sync flushes every open segment writer and the campaigns log.
+func (s *Store) Sync() error {
+	if s.ro {
+		return nil
+	}
+	var firstErr error
+	s.logMu.Lock()
+	if s.logF != nil {
+		if err := s.logF.Sync(); err != nil {
+			firstErr = err
+		}
+	}
+	s.logMu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.w != nil {
+			if err := sh.w.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Close stops the compactor, writes each shard's active-segment index
+// as a scan cache for the next open, and releases the lock. A store
+// killed without Close loses only that cache — the next open rescans
+// active tails.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if !s.ro {
+		s.compactMu.Lock()
+		s.compactClosed = true
+		close(s.compactCh)
+		s.compactMu.Unlock()
+		s.wg.Wait()
+	}
+	var firstErr error
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if !s.ro {
+			if err := sh.closeWriter(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	gaugeAdd(gSegments, -float64(s.segmentCountLocked()))
+	gaugeAdd(gBytes, -float64(s.recordBytesLocked()))
+	if s.logF != nil {
+		if err := s.logF.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := s.logF.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.lockF != nil {
+		if err := s.lockF.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s *Store) segmentCountLocked() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.sealed) + 1
+	}
+	return n
+}
+
+func (s *Store) recordBytesLocked() int64 {
+	var b int64
+	for _, sh := range s.shards {
+		b += sh.bytes()
+	}
+	return b + s.logBytes
+}

@@ -1,0 +1,800 @@
+package segstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/results/storetest"
+)
+
+// smallSeg forces multi-segment shards with test-sized data.
+const smallSeg = 2 << 10
+
+func openSmall(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, WithSegmentBytes(smallSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// corruptStore simulates a kill -9 mid-append on both append targets:
+// a torn record at the end of the torn campaign's active segment and
+// of the campaigns log.
+func corruptStore(t *testing.T, dir string) {
+	t.Helper()
+	appendGarbage := func(path, garbage string) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.WriteString(garbage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendGarbage(filepath.Join(dir, campaignsFile), `{"kind":"campaign","campaign":{"na`)
+	sh := filepath.Join(dir, shardsDir, escapeName("torn"))
+	gen, err := readCurrent(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := listSegs(filepath.Join(sh, genName(gen)))
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("no segments in torn shard: %v", err)
+	}
+	active := seqs[len(seqs)-1]
+	appendGarbage(filepath.Join(sh, genName(gen), segName(active)), `{"campaign":"torn","ind`)
+}
+
+func TestSegstoreSuite(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) results.Store {
+		s := openSmall(t, t.TempDir())
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+	storetest.RunDurable(t, func(t *testing.T, dir string) results.DurableStore {
+		return openSmall(t, dir)
+	}, corruptStore)
+}
+
+func TestDiffParityAcrossBackends(t *testing.T) {
+	storetest.RunDiffParity(t, map[string]storetest.Factory{
+		"mem": func(t *testing.T) results.Store { return results.NewMemStore() },
+		"file": func(t *testing.T) results.Store {
+			s, err := results.Open(filepath.Join(t.TempDir(), "store.jsonl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return s
+		},
+		"segstore": func(t *testing.T) results.Store {
+			s := openSmall(t, t.TempDir())
+			t.Cleanup(func() { s.Close() })
+			return s
+		},
+	})
+}
+
+func TestNameEscapingRoundTrip(t *testing.T) {
+	cases := []string{
+		"", "plain", "with space", "a/b/c", "..", ".hidden", "%41", "δ-κ", "camp:v2|x",
+		strings.Repeat("é", 20),
+	}
+	seen := map[string]bool{}
+	for _, name := range cases {
+		esc := escapeName(name)
+		if strings.ContainsAny(esc, "/\\: |") || strings.HasPrefix(esc, ".") {
+			t.Errorf("escapeName(%q) = %q is not filesystem-safe", name, esc)
+		}
+		if seen[esc] {
+			t.Errorf("escapeName(%q) = %q collides with another case", name, esc)
+		}
+		seen[esc] = true
+		back, err := unescapeName(esc)
+		if err != nil {
+			t.Fatalf("unescapeName(%q): %v", esc, err)
+		}
+		if back != name {
+			t.Errorf("round trip %q -> %q -> %q", name, esc, back)
+		}
+	}
+	for _, bad := range []string{"%", "%4", "%GG", "abc%"} {
+		if bad == "%" {
+			continue // the empty-name encoding, valid
+		}
+		if _, err := unescapeName(bad); err == nil {
+			t.Errorf("unescapeName(%q) accepted a malformed escape", bad)
+		}
+	}
+}
+
+func TestIdxCodecRoundTrip(t *testing.T) {
+	agg := results.NewCampaign("cdc", "DS-2", 1, true, 0)
+	for i := 0; i < 9; i++ {
+		agg.Fold(storetest.Episode("cdc", i))
+	}
+	m := segMeta{seq: 3, n: 9, minIdx: 0, maxIdx: 8, bytes: 12345, sorted: true, hasAgg: true, agg: &agg}
+	got, err := decodeIdx(encodeIdx(&m), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.n != m.n || got.minIdx != m.minIdx || got.maxIdx != m.maxIdx ||
+		got.bytes != m.bytes || !got.sorted || !got.hasAgg {
+		t.Fatalf("header changed: %+v", got)
+	}
+	if !reflect.DeepEqual(got.agg, &agg) {
+		t.Fatalf("aggregate changed:\n got %+v\nwant %+v", got.agg, &agg)
+	}
+
+	sealed := []segMeta{m, {seq: 4, n: 2, minIdx: 9, maxIdx: 10, bytes: 77, sorted: true, hasAgg: true}}
+	metas, err := decodeManifest(encodeManifest(sealed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].n != 9 || metas[1].minIdx != 9 || !metas[1].hasAgg {
+		t.Fatalf("manifest changed: %+v", metas)
+	}
+}
+
+func TestIdxCodecRejectsCorruption(t *testing.T) {
+	m := segMeta{seq: 0, n: 1, minIdx: 5, maxIdx: 5, bytes: 10, sorted: true}
+	raw := encodeIdx(&m)
+	for _, mutate := range []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"bitflip", func(b []byte) []byte { b = append([]byte(nil), b...); b[len(b)/2] ^= 0x40; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"empty", func([]byte) []byte { return nil }},
+		{"trailing", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xFF) }},
+	} {
+		if _, err := decodeIdx(mutate.f(raw), 0); err == nil {
+			t.Errorf("%s index accepted", mutate.name)
+		}
+	}
+	if _, err := decodeManifest(encodeIdx(&m)); err == nil {
+		t.Error("manifest decoder accepted an idx payload (magic not checked)")
+	}
+}
+
+// TestOpenReadsIndexesNotRecords pins the tentpole property
+// deterministically: a cleanly closed store reopens from metadata
+// alone, no matter how many records it holds.
+func TestOpenReadsIndexesNotRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmall(t, dir)
+	for _, c := range []string{"a", "b"} {
+		storetest.Fill(t, s, c, 400) // hundreds of records, several segments each
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openSmall(t, dir)
+	st := s.OpenStats()
+	if st.ScannedBytes != 0 {
+		t.Errorf("clean reopen scanned %d raw bytes, want 0 (index-driven open)", st.ScannedBytes)
+	}
+	if st.Segments < 6 {
+		t.Errorf("expected multi-segment shards, got %d segments", st.Segments)
+	}
+	if st.IndexBytes <= 0 {
+		t.Errorf("open read no index bytes: %+v", st)
+	}
+	eps, err := s.Episodes("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 400 {
+		t.Fatalf("lost records: %d, want 400", len(eps))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash (no Close, so no active-idx cache) forces a rescan of the
+	// active tails only — bounded by the roll threshold, not the store.
+	for _, c := range []string{"a", "b"} {
+		sh := filepath.Join(dir, shardsDir, escapeName(c))
+		gen, err := readCurrent(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs, err := listSegs(filepath.Join(sh, genName(gen)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(filepath.Join(sh, genName(gen), idxName(seqs[len(seqs)-1])))
+	}
+	s = openSmall(t, dir)
+	defer s.Close()
+	st = s.OpenStats()
+	if st.ScannedBytes == 0 {
+		t.Error("expected an active-tail rescan after losing the close cache")
+	}
+	if st.ScannedBytes > 2*smallSeg+2048 {
+		t.Errorf("crash recovery scanned %d bytes; want bounded by the two active tails (~%d)", st.ScannedBytes, 2*smallSeg)
+	}
+}
+
+// TestManifestRebuiltFromIdx covers the middle recovery tier: a stale
+// or missing MANIFEST falls back to per-segment indexes without
+// touching records.
+func TestManifestRebuiltFromIdx(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmall(t, dir)
+	storetest.Fill(t, s, "m", 400)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sh := filepath.Join(dir, shardsDir, escapeName("m"))
+	gen, err := readCurrent(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(sh, genName(gen), manifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	s = openSmall(t, dir)
+	defer s.Close()
+	if st := s.OpenStats(); st.ScannedBytes != 0 {
+		t.Errorf("manifest rebuild scanned %d raw bytes, want 0 (idx fallback)", st.ScannedBytes)
+	}
+	if _, err := os.Stat(filepath.Join(sh, genName(gen), manifestFile)); err != nil {
+		t.Errorf("writer did not repair the manifest: %v", err)
+	}
+	eps, err := s.Episodes("m")
+	if err != nil || len(eps) != 400 {
+		t.Fatalf("records harmed by manifest loss: %d, %v", len(eps), err)
+	}
+}
+
+// TestResumeParityWithFileStore is the kill -9 resume scenario: both
+// backends ingest the same interrupted-then-resumed record stream
+// (duplicate re-appends included) and must agree bit for bit.
+func TestResumeParityWithFileStore(t *testing.T) {
+	dir := t.TempDir()
+	seg := openSmall(t, dir)
+	file, err := results.Open(filepath.Join(t.TempDir(), "store.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+
+	stores := []results.Store{seg, file}
+	appendBoth := func(ep results.EpisodeRecord) {
+		for _, s := range stores {
+			if err := s.Append(ep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// First run: 120 episodes, killed before the aggregate lands.
+	for i := 0; i < 120; i++ {
+		appendBoth(storetest.Episode("resume", i))
+	}
+	// Simulate the segstore process dying: reopen (no clean Close; the
+	// torn tail is a separate test — here the kill hit between lines).
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg = openSmall(t, dir)
+	defer seg.Close()
+	stores[0] = seg
+	// Resume re-runs a window of episodes (the retry overlap), then
+	// finishes the campaign and stores the aggregate.
+	var all []results.EpisodeRecord
+	for i := 0; i < 200; i++ {
+		all = append(all, storetest.Episode("resume", i))
+	}
+	for i := 100; i < 200; i++ {
+		appendBoth(all[i])
+	}
+	meta := results.NewCampaign("resume", "DS-2", all[0].Mode, all[0].ExpectCrashes, 7)
+	rec := results.Aggregate(meta, all)
+	for _, s := range stores {
+		if err := s.PutCampaign(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	segEps, err := seg.Episodes("resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileEps, err := file.Episodes("resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(segEps, fileEps) {
+		t.Fatalf("episode streams diverge: %d vs %d records", len(segEps), len(fileEps))
+	}
+	diffs, err := results.Diff(seg, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		if !reflect.DeepEqual(d.A, d.B) {
+			t.Errorf("aggregates diverge for %s:\n seg %+v\nfile %+v", d.Name, d.A, d.B)
+		}
+	}
+	a, _ := json.Marshal(segEps)
+	b, _ := json.Marshal(fileEps)
+	if string(a) != string(b) {
+		t.Error("episode JSON not byte-identical across backends")
+	}
+}
+
+// TestCompactionRestoresFastPath drives the out-of-order append path
+// and the generation rewrite directly (white-box: the background
+// goroutine's work, called synchronously).
+func TestCompactionRestoresFastPath(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmall(t, dir)
+	defer s.Close()
+	storetest.Fill(t, s, "cmp", 150)
+	// A worker retry re-appends an old index out of order.
+	if err := s.Append(storetest.Episode("cmp", 3)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Episodes("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := s.getShard("cmp", false)
+	if err != nil || sh == nil {
+		t.Fatal(err)
+	}
+	sh.mu.Lock()
+	fast := sh.fastPath()
+	oldGen := sh.gen
+	sh.mu.Unlock()
+	if fast {
+		t.Fatal("out-of-order append did not break the fast path")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Estimated || st.Episodes != 151 {
+		t.Fatalf("pre-compaction stats = %+v, want estimated upper bound 151", st)
+	}
+
+	rewrote, err := s.compactShard(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rewrote {
+		t.Error("compactShard reported nothing rewritten")
+	}
+	sh.mu.Lock()
+	fast = sh.fastPath()
+	newGen := sh.gen
+	sh.mu.Unlock()
+	if !fast {
+		t.Error("compaction did not restore the fast path")
+	}
+	if newGen != oldGen+1 {
+		t.Errorf("generation = %d, want %d", newGen, oldGen+1)
+	}
+	if _, err := os.Stat(filepath.Join(dir, shardsDir, escapeName("cmp"), genName(oldGen))); !os.IsNotExist(err) {
+		t.Errorf("old generation dir not removed: %v", err)
+	}
+	got, err := s.Episodes("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("compaction changed the records: %d vs %d", len(got), len(want))
+	}
+	st, err = s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Estimated || st.Episodes != 150 {
+		t.Fatalf("post-compaction stats = %+v, want exact 150", st)
+	}
+
+	// Appending continues normally in the new generation, and a reopen
+	// recovers it.
+	if err := s.Append(storetest.Episode("cmp", 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openSmall(t, dir)
+	defer s2.Close()
+	eps, err := s2.Episodes("cmp")
+	if err != nil || len(eps) != 151 {
+		t.Fatalf("reopen after compaction: %d records, %v", len(eps), err)
+	}
+}
+
+// TestCompactExported drives the `robotack-store compact` entry point:
+// only shards off the fast path are rewritten, and a second run is a
+// no-op.
+func TestCompactExported(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmall(t, dir)
+	defer s.Close()
+	storetest.Fill(t, s, "dirty", 80)
+	storetest.Fill(t, s, "clean", 40)
+	if err := s.Append(storetest.Episode("dirty", 2)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Episodes("dirty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Compact rewrote %d shards, want 1 (only the out-of-order one)", n)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Estimated || st.Episodes != 120 {
+		t.Fatalf("post-compact stats = %+v, want exact 120", st)
+	}
+	got, err := s.Episodes("dirty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Compact changed the records")
+	}
+	if n, err = s.Compact(); err != nil || n != 0 {
+		t.Fatalf("second Compact = (%d, %v), want no-op", n, err)
+	}
+
+	ro, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, err := ro.Compact(); err == nil {
+		t.Error("Compact on a read-only store did not fail")
+	}
+}
+
+// TestAggregateEpisodesMatchesRawFold checks the partial-aggregate
+// merge against results.Aggregate across append patterns.
+func TestAggregateEpisodesMatchesRawFold(t *testing.T) {
+	check := func(t *testing.T, s *Store, name string) {
+		t.Helper()
+		got, err := s.AggregateEpisodes(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps, err := s.Episodes(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) == 0 {
+			if got != nil {
+				t.Fatalf("aggregate for empty campaign: %+v", got)
+			}
+			return
+		}
+		meta := results.NewCampaign(name, eps[0].Scenario, eps[0].Mode, eps[0].ExpectCrashes, 0)
+		want := results.Aggregate(meta, eps)
+		if got == nil || !reflect.DeepEqual(*got, want) {
+			t.Fatalf("merged aggregate differs from raw fold:\n got %+v\nwant %+v", got, &want)
+		}
+	}
+	t.Run("SortedMultiSegment", func(t *testing.T) {
+		s := openSmall(t, t.TempDir())
+		defer s.Close()
+		for i := 0; i < 300; i++ {
+			if err := s.Append(storetest.Episode("x", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(t, s, "x")
+	})
+	t.Run("OutOfOrder", func(t *testing.T) {
+		s := openSmall(t, t.TempDir())
+		defer s.Close()
+		for i := 0; i < 100; i++ {
+			if err := s.Append(storetest.Episode("x", (i*37)%100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(t, s, "x")
+	})
+	t.Run("DuplicateRetries", func(t *testing.T) {
+		s := openSmall(t, t.TempDir())
+		defer s.Close()
+		for i := 0; i < 80; i++ {
+			if err := s.Append(storetest.Episode("x", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 40; i < 80; i++ {
+			if err := s.Append(storetest.Episode("x", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(t, s, "x")
+	})
+	t.Run("Empty", func(t *testing.T) {
+		s := openSmall(t, t.TempDir())
+		defer s.Close()
+		check(t, s, "missing")
+	})
+	t.Run("AfterReopen", func(t *testing.T) {
+		dir := t.TempDir()
+		s := openSmall(t, dir)
+		for i := 0; i < 300; i++ {
+			if err := s.Append(storetest.Episode("x", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s = openSmall(t, dir)
+		defer s.Close()
+		if st := s.OpenStats(); st.ScannedBytes != 0 {
+			t.Fatalf("reopen scanned %d bytes", st.ScannedBytes)
+		}
+		check(t, s, "x") // merged purely from idx-file aggregates
+	})
+}
+
+// TestIndexCompactness enforces the bytes-per-episode budget on all
+// index metadata (satellite: segment indexes must stay a small
+// constant factor of the record count, or open stops being cheap).
+const maxIndexBytesPerEpisode = 64
+
+func TestIndexCompactness(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmall(t, dir)
+	const n = 500
+	storetest.Fill(t, s, "budget", n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var idxBytes int64
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(path, idxSuffix) || d.Name() == manifestFile {
+			fi, err := d.Info()
+			if err != nil {
+				return err
+			}
+			idxBytes += fi.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fixedOverhead = 4096 // magics, manifest headers, empty-store floor
+	if idxBytes > n*maxIndexBytesPerEpisode+fixedOverhead {
+		t.Errorf("index metadata is %d bytes for %d episodes (%.1f B/episode), budget %d B/episode",
+			idxBytes, n, float64(idxBytes)/n, maxIndexBytesPerEpisode)
+	}
+	if idxBytes == 0 {
+		t.Error("no index metadata found")
+	}
+}
+
+func TestMigrateFromJSONL(t *testing.T) {
+	srcDir := t.TempDir()
+	src := filepath.Join(srcDir, "old.jsonl")
+	fs, err := results.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storetest.Fill(t, fs, "m1", 50)
+	storetest.Fill(t, fs, "m2", 30)
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn tail in the source must be tolerated.
+	f, err := os.OpenFile(src, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"episode","epis`)
+	f.Close()
+
+	dst := filepath.Join(t.TempDir(), "segdir")
+	st, err := MigrateFromJSONL(src, dst, WithSegmentBytes(smallSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Campaigns != 2 || st.Episodes != 80 || st.Estimated {
+		t.Fatalf("migrate stats = %+v, want exact 2 campaigns / 80 episodes", st)
+	}
+
+	seg, err := Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	old, err := results.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := results.Diff(old, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		if !reflect.DeepEqual(d.A, d.B) {
+			t.Errorf("migration changed %s:\n old %+v\n new %+v", d.Name, d.A, d.B)
+		}
+	}
+
+	// Never merge into live data.
+	if _, err := MigrateFromJSONL(src, dst); err == nil {
+		t.Error("migrate into a non-empty destination succeeded")
+	}
+}
+
+func TestDetectFormatAndOpenAny(t *testing.T) {
+	tmp := t.TempDir()
+	segDir := filepath.Join(tmp, "segdir")
+	s := openSmall(t, segDir)
+	storetest.Fill(t, s, "d", 5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jsonlPath := filepath.Join(tmp, "flat.jsonl")
+	fs, err := results.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	for _, tc := range []struct {
+		path, want string
+	}{
+		{segDir, results.FormatSegstore},
+		{jsonlPath, results.FormatJSONL},
+		{filepath.Join(tmp, "new.jsonl"), results.FormatJSONL},
+		{filepath.Join(tmp, "newdir"), results.FormatSegstore},
+	} {
+		got, err := DetectFormat(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("DetectFormat(%s) = %s, want %s", tc.path, got, tc.want)
+		}
+	}
+
+	ds, err := OpenAny(segDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds.(*Store); !ok {
+		t.Errorf("OpenAny(dir) returned %T, want *segstore.Store", ds)
+	}
+	ds.Close()
+	ds, err = OpenAny(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ds.(*results.FileStore); !ok {
+		t.Errorf("OpenAny(file) returned %T, want *results.FileStore", ds)
+	}
+	ds.Close()
+}
+
+func TestOpenRefusesForeignDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "precious.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open adopted a non-empty, non-segstore directory")
+	}
+}
+
+func TestLockExcludesSecondWriterButNotReaders(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmall(t, dir)
+	defer s.Close()
+	storetest.Fill(t, s, "lk", 10)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second writer acquired the store lock")
+	}
+	ro, err := Load(dir)
+	if err != nil {
+		t.Fatalf("read-only load blocked by writer lock: %v", err)
+	}
+	defer ro.Close()
+	eps, err := ro.Episodes("lk")
+	if err != nil || len(eps) != 10 {
+		t.Fatalf("read-only load: %d records, %v", len(eps), err)
+	}
+	if err := ro.Append(storetest.Episode("lk", 11)); err == nil {
+		t.Error("read-only store accepted an append")
+	}
+	if err := ro.PutCampaign(results.NewCampaign("lk", "DS-2", 1, true, 0)); err == nil {
+		t.Error("read-only store accepted a campaign")
+	}
+}
+
+func TestCampaignLogCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openSmall(t, dir)
+	defer s.Close()
+	rec := results.NewCampaign("churn", "DS-2", 1, true, 0)
+	for i := 0; i < 4000; i++ {
+		rec.Runs = i
+		if err := s.PutCampaign(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(filepath.Join(dir, campaignsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > logCompactMin*2 {
+		t.Errorf("campaigns log grew to %d bytes despite last-wins compaction", fi.Size())
+	}
+	recs, err := s.Campaigns()
+	if err != nil || len(recs) != 1 || recs[0].Runs != 3999 {
+		t.Fatalf("log compaction lost the latest upsert: %+v, %v", recs, err)
+	}
+}
+
+func TestConcurrentAppendsAndQueries(t *testing.T) {
+	s := openSmall(t, t.TempDir())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("conc-%d", w%2) // two goroutines share each campaign
+			for i := 0; i < 100; i++ {
+				if err := s.Append(storetest.Episode(name, w*100+i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					if _, err := s.Episodes(name); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := s.Stats(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, name := range []string{"conc-0", "conc-1"} {
+		eps, err := s.Episodes(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) != 200 {
+			t.Errorf("%s: %d episodes, want 200", name, len(eps))
+		}
+	}
+}
