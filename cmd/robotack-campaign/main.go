@@ -46,6 +46,7 @@ import (
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/nn"
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 	"github.com/robotack/robotack/internal/policy"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
@@ -78,6 +79,8 @@ func run() error {
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
 		ftdcPath     = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
 		ftdcEvery    = flag.Duration("ftdc-interval", time.Second, "FTDC snapshot interval")
+		traceDir     = flag.String("trace", "", "directory for span-trace segments (inspect with robotack-trace); empty: tracing off")
+		traceN       = flag.Int("trace-sample", 0, "episode-span sampling, 1-in-N (0: default 1-in-16)")
 		logCfg       obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -194,6 +197,29 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Local tracing: one root span covers the sweep; engine-job and
+	// sampled episode spans (with frame-stage breakdowns) nest under it
+	// via the engine's context.
+	if *traceDir != "" {
+		sink, err := trace.NewFileSink(*traceDir, trace.DefaultCapBytes)
+		if err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		tr := trace.New("campaign", sink, trace.WithSampleEvery(*traceN))
+		tid := trace.DeriveTraceID("robotack-campaign", *seed)
+		root := tr.StartSpan(trace.SpanContext{Tracer: tr, TraceID: tid},
+			"run", trace.DeriveSpanID(tid, 0, trace.StreamRun))
+		root.SetAttr("campaign", "robotack-campaign")
+		ctx = root.Context(ctx)
+		defer func() {
+			root.Finish()
+			if err := tr.Close(); err != nil {
+				logger.Warn("trace sink close", "err", err)
+			}
+		}()
+		fmt.Printf("trace dir: %s\n", *traceDir)
+	}
 
 	eng := engine.New(
 		engine.WithWorkers(*workers),

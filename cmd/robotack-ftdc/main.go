@@ -8,7 +8,8 @@
 //
 //	robotack-ftdc serve.ftdc
 //	robotack-ftdc serve.ftdc | jq '.metrics.robotack_runq_queue_depth'
-//	robotack-ftdc -last serve.ftdc   # only the final snapshot
+//	robotack-ftdc -last serve.ftdc      # only the final snapshot
+//	robotack-ftdc -summary serve.ftdc   # per-metric min/max/mean/last table
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/robotack/robotack/internal/obs"
 )
@@ -37,9 +39,10 @@ type line struct {
 
 func run() error {
 	last := flag.Bool("last", false, "print only the final snapshot")
+	summary := flag.Bool("summary", false, "print a per-metric min/max/mean/last table instead of JSONL")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: robotack-ftdc [-last] <capture-file>")
+		return fmt.Errorf("usage: robotack-ftdc [-last|-summary] <capture-file>")
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -50,6 +53,9 @@ func run() error {
 	snaps, err := obs.Decode(f)
 	if err != nil {
 		return err
+	}
+	if *summary {
+		return printSummary(snaps)
 	}
 	if *last && len(snaps) > 1 {
 		snaps = snaps[len(snaps)-1:]
@@ -63,6 +69,52 @@ func run() error {
 		if err := enc.Encode(line{TS: s.TS, Metrics: s.Metrics}); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// printSummary collapses the capture to one row per metric — the quick
+// "what moved and how far" read of a whole run, without jq. A metric
+// absent from some snapshots (registered mid-run) is summarized over
+// the snapshots that have it.
+func printSummary(snaps []obs.Snapshot) error {
+	type agg struct {
+		min, max, sum, last float64
+		n                   int
+	}
+	stats := make(map[string]*agg)
+	for _, s := range snaps {
+		for name, v := range s.Metrics {
+			a := stats[name]
+			if a == nil {
+				a = &agg{min: v, max: v}
+				stats[name] = a
+			}
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+			a.sum += v
+			a.last = v
+			a.n++
+		}
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%d snapshots, %d metrics\n", len(snaps), len(names))
+	fmt.Fprintf(w, "%-56s %12s %12s %12s %12s\n", "metric", "min", "max", "mean", "last")
+	for _, name := range names {
+		a := stats[name]
+		fmt.Fprintf(w, "%-56s %12g %12g %12g %12g\n",
+			name, a.min, a.max, a.sum/float64(a.n), a.last)
 	}
 	return nil
 }

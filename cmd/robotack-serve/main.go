@@ -36,6 +36,7 @@
 //	robotack-serve -store results.jsonl -addr :9090 -workers 4 -lease-ttl 30s
 //	robotack-serve -store results.jsonl -log-level debug -log-json
 //	robotack-serve -store results.jsonl -pprof -ftdc serve.ftdc
+//	robotack-serve -store results.jsonl -trace traces/   # spans; inspect with robotack-trace
 //	curl -s -X POST localhost:8077/runs -d '{"scenario":"DS-2","mode":"smart","runs":20,"seed":300}'
 //	curl -N localhost:8077/runs/1/events
 //	curl -s localhost:8077/metrics
@@ -59,6 +60,7 @@ import (
 	"github.com/robotack/robotack/internal/campaignd"
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/runq"
 	"github.com/robotack/robotack/internal/segstore"
@@ -84,6 +86,9 @@ func run() error {
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		ftdcPath  = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
 		ftdcEvery = flag.Duration("ftdc-interval", time.Second, "FTDC snapshot interval")
+		traceDir  = flag.String("trace", "", "directory for span-trace segments (inspect with robotack-trace); empty: tracing off")
+		traceCap  = flag.Int("trace-cap", 64, "trace-segment ring size cap in MiB; oldest segments are deleted beyond it")
+		traceN    = flag.Int("trace-sample", 0, "episode-span sampling, 1-in-N (0: default 1-in-16)")
 		logCfg    obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -118,10 +123,28 @@ func run() error {
 		}
 	}()
 
+	// Tracing: submitted runs get deterministic trace IDs, queue and
+	// engine spans land in the segment ring, and remote workers' spans
+	// arrive over POST /runs/{id}/spans into the same sink.
+	var tracer *trace.Tracer
+	if *traceDir != "" {
+		sink, err := trace.NewFileSink(*traceDir, int64(*traceCap)<<20)
+		if err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		tracer = trace.New("serve", sink, trace.WithSampleEvery(*traceN))
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				logger.Warn("trace sink close", "err", err)
+			}
+		}()
+	}
+
 	queue, err := runq.Open(*queueDir,
 		runq.WithMaxConcurrent(*maxConc),
 		runq.WithLeaseTTL(*leaseTTL),
 		runq.WithLogger(logger),
+		runq.WithTracer(tracer),
 	)
 	if err != nil {
 		return err
@@ -144,6 +167,7 @@ func run() error {
 		campaignd.WithWorkers(*workers),
 		campaignd.WithQueue(queue),
 		campaignd.WithLogger(logger),
+		campaignd.WithTracer(tracer),
 	))
 	if *metrics {
 		mux.Handle("GET /metrics", obs.Handler(obs.Default))

@@ -59,6 +59,8 @@ func run() error {
 		pprofOn   = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ (needs -metrics)")
 		ftdcPath  = flag.String("ftdc", "", "append periodic binary metric snapshots to this file (decode with robotack-ftdc)")
 		ftdcEvery = flag.Duration("ftdc-interval", time.Second, "FTDC snapshot interval")
+		traceOn   = flag.Bool("trace", true, "forward span traces for traced jobs to the server's trace sink")
+		traceN    = flag.Int("trace-sample", 0, "episode-span sampling, 1-in-N (0: default 1-in-16)")
 		logCfg    obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -112,12 +114,14 @@ func run() error {
 	}
 
 	w := &runq.Worker{
-		Server:  *server,
-		Name:    *name,
-		Workers: *workers,
-		Poll:    *poll,
-		Batch:   *batch,
-		Log:     logger,
+		Server:      *server,
+		Name:        *name,
+		Workers:     *workers,
+		Poll:        *poll,
+		Batch:       *batch,
+		Log:         logger,
+		NoTrace:     !*traceOn,
+		TraceSample: *traceN,
 	}
 	logger.Info("worker starting",
 		"worker", *name, "server", *server, "engine_workers", *workers,

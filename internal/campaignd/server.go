@@ -25,6 +25,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/runq"
 	"github.com/robotack/robotack/internal/segstore"
@@ -68,6 +69,7 @@ func httpSeconds(pattern string) *obs.Histogram {
 //	POST /lease                        lease the next queued job
 //	POST /runs/{id}/heartbeat          keep the lease alive, report progress
 //	POST /runs/{id}/episodes           stream episode records into the store
+//	POST /runs/{id}/spans              forward a traced job's worker spans
 //	POST /runs/{id}/complete           deliver the final aggregate
 //	POST /runs/{id}/fail               fail or hand back the job
 type Server struct {
@@ -77,6 +79,7 @@ type Server struct {
 	queue    *runq.Queue
 	ownQueue bool
 	exec     runq.Executor
+	tracer   *trace.Tracer
 	log      *slog.Logger
 	mux      *http.ServeMux
 }
@@ -114,6 +117,16 @@ func WithExecutor(exec runq.Executor) Option {
 	return func(s *Server) { s.exec = exec }
 }
 
+// WithTracer enables span tracing: a server-created queue gets the
+// tracer (submitted runs carry deterministic trace IDs and emit
+// lifecycle spans), and POST /runs/{id}/spans ingests workers'
+// forwarded spans into the same sink. A queue supplied via WithQueue
+// keeps its own tracer configuration (runq.WithTracer) — pass the same
+// tracer to both. Nil is a no-op.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
 // WithLogger sets the server's structured logger for request-level
 // errors (default: discard). The queue's logger is configured
 // separately on the queue itself.
@@ -137,7 +150,7 @@ func New(store results.Store, opts ...Option) *Server {
 		opt(s)
 	}
 	if s.queue == nil {
-		q, err := runq.Open("") // memory-only queues cannot fail to open
+		q, err := runq.Open("", runq.WithTracer(s.tracer)) // memory-only queues cannot fail to open
 		if err != nil {
 			panic(err)
 		}
@@ -165,19 +178,27 @@ func New(store results.Store, opts ...Option) *Server {
 	s.handle("POST /lease", s.handleLease)
 	s.handle("POST /runs/{id}/heartbeat", s.handleHeartbeat)
 	s.handle("POST /runs/{id}/episodes", s.handleWorkerEpisodes)
+	s.handle("POST /runs/{id}/spans", s.handleWorkerSpans)
 	s.handle("POST /runs/{id}/complete", s.handleComplete)
 	s.handle("POST /runs/{id}/fail", s.handleFail)
 	return s
 }
 
-// handle registers a route wrapped with per-route latency recording.
-// The histogram series is created once at registration; the wrapper
-// itself only reads the clock and bumps atomics. SSE streams are the
-// one caveat — their "latency" is the stream's lifetime — which is
-// still useful (it counts open event streams' durations).
+// handle registers a route wrapped with per-route latency recording
+// and lease-protocol header logging. The histogram series is created
+// once at registration; the wrapper itself only reads the clock and
+// bumps atomics. SSE streams are the one caveat — their "latency" is
+// the stream's lifetime — which is still useful (it counts open event
+// streams' durations). Requests that identify a worker via
+// X-Robotack-Worker log it (plus any trace context) at Debug, so a
+// fleet's traffic is attributable per worker without body parsing.
 func (s *Server) handle(pattern string, fn http.HandlerFunc) {
 	h := httpSeconds(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if wk := r.Header.Get(runq.WorkerHeader); wk != "" {
+			s.log.Debug("worker request", "route", pattern, "worker", wk,
+				"traceparent", r.Header.Get(runq.TraceparentHeader))
+		}
 		if !obs.Enabled() {
 			fn(w, r)
 			return
@@ -591,6 +612,9 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	if job.Trace != nil {
+		w.Header().Set(runq.TraceparentHeader, job.Trace.Traceparent(job.Attempt))
+	}
 	writeJSON(w, http.StatusOK, runq.LeaseResponse{
 		Job:            job,
 		LeaseTTLMillis: s.queue.LeaseTTL().Milliseconds(),
@@ -652,6 +676,44 @@ func (s *Server) handleWorkerEpisodes(w http.ResponseWriter, r *http.Request) {
 		if err := s.store.Append(ep); err != nil {
 			writeError(w, http.StatusInternalServerError, "append episode %d: %v", ep.Index, err)
 			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleWorkerSpans ingests a traced job's forwarded worker spans into
+// the server's trace sink, so one sink holds the whole cross-process
+// trace. The lease gates who may post; the trace-ID check gates what —
+// a worker's spans can only land on its own job's trace. Spans are
+// observability, not results: with tracing off server-side they are
+// accepted and dropped.
+func (s *Server) handleWorkerSpans(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decodeBody[runq.SpansRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.queue.CheckLease(id, req.Worker); err != nil {
+		workerError(w, err)
+		return
+	}
+	job, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %d", id)
+		return
+	}
+	if tr := s.queue.Tracer(); tr != nil && job.Trace != nil {
+		for i := range req.Spans {
+			sp := &req.Spans[i]
+			if sp.TraceID != job.Trace.TraceID {
+				writeError(w, http.StatusBadRequest,
+					"span %s is for trace %s, job %d traces %s", sp.SpanID, sp.TraceID, id, job.Trace.TraceID)
+				return
+			}
+			tr.Emit(sp) // Service stays the worker's name
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})

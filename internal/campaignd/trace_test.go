@@ -1,0 +1,218 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/robotack/robotack/internal/obs/trace"
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/runq"
+)
+
+// TestLeaseCarriesTraceHeaders pins the trace side of the lease
+// protocol without running an engine: a traced job's lease response
+// carries the Traceparent header, the span-ingest endpoint accepts the
+// owner's spans for the job's trace and rejects foreign workers and
+// foreign traces.
+func TestLeaseCarriesTraceHeaders(t *testing.T) {
+	store := results.NewMemStore()
+	sink := &trace.CollectSink{}
+	tracer := trace.New("serve", sink)
+	q, err := runq.Open("", runq.WithMaxConcurrent(0), runq.WithLeaseTTL(5*time.Second),
+		runq.WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, WithQueue(q), WithTracer(tracer))
+	defer q.Shutdown(context.Background())
+	ts := newTestServerFrom(t, srv)
+
+	post := func(path, worker string, body any) *http.Response {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(runq.WorkerHeader, worker)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	st := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"traced-proto","runs":2,"seed":10}`)
+
+	resp := post("/lease", "w1", runq.LeaseRequest{Worker: "w1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease: status %d", resp.StatusCode)
+	}
+	var lease runq.LeaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatal(err)
+	}
+	if lease.Job.Trace == nil {
+		t.Fatal("leased job carries no TraceRef despite a traced queue")
+	}
+	wantTID := trace.DeriveTraceID("traced-proto", 10)
+	if uint64(lease.Job.Trace.TraceID) != wantTID {
+		t.Fatalf("trace ID %s, want %016x (deterministic from name+seed)", lease.Job.Trace.TraceID, wantTID)
+	}
+	hdr := resp.Header.Get(runq.TraceparentHeader)
+	gotTID, gotSpan, ok := trace.ParseTraceparent(hdr)
+	if !ok || gotTID != wantTID {
+		t.Fatalf("lease Traceparent header %q: parsed (%x, ok=%v), want trace %x", hdr, gotTID, ok, wantTID)
+	}
+	if hdr != lease.Job.Trace.Traceparent(lease.Job.Attempt) {
+		t.Errorf("header %q disagrees with TraceRef.Traceparent %q", hdr, lease.Job.Trace.Traceparent(lease.Job.Attempt))
+	}
+	if gotSpan == 0 {
+		t.Error("lease span ID zero")
+	}
+
+	sp := trace.SpanData{
+		TraceID: lease.Job.Trace.TraceID,
+		SpanID:  trace.ID(trace.DeriveSpanID(wantTID, 1, trace.StreamWorkerJob)),
+		Parent:  trace.ID(gotSpan),
+		Name:    "worker-job", Service: "w1", Start: 1, Dur: 2, Sampled: true,
+	}
+	spansPath := fmt.Sprintf("/runs/%d/spans", st.ID)
+
+	if resp := post(spansPath, "w2", runq.SpansRequest{Worker: "w2", Spans: []trace.SpanData{sp}}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("foreign worker spans: status %d, want 409", resp.StatusCode)
+	}
+	bad := sp
+	bad.TraceID++
+	if resp := post(spansPath, "w1", runq.SpansRequest{Worker: "w1", Spans: []trace.SpanData{bad}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("foreign trace spans: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(spansPath, "w1", runq.SpansRequest{Worker: "w1", Spans: []trace.SpanData{sp}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner spans: status %d", resp.StatusCode)
+	}
+	found := false
+	for _, got := range sink.Spans() {
+		if got.SpanID == sp.SpanID {
+			found = true
+			if got.Service != "w1" {
+				t.Errorf("ingested span service %q, want the origin worker's %q", got.Service, "w1")
+			}
+		}
+	}
+	if !found {
+		t.Error("ingested span never reached the server's sink")
+	}
+}
+
+// TestWorkerTraceContinuity is the cross-process tracing proof: a real
+// runq.Worker executes a traced job against the service, and the
+// server's single sink ends up holding one trace whose spans cross the
+// process boundary — queue spans from the "serve" side, worker-job/
+// engine-job/episode spans from the worker — all under the same
+// deterministic trace ID, with the lease-protocol headers present on
+// the worker's requests.
+func TestWorkerTraceContinuity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	store := results.NewMemStore()
+	sink := &trace.CollectSink{}
+	tracer := trace.New("serve", sink)
+	q, err := runq.Open("", runq.WithMaxConcurrent(0), runq.WithLeaseTTL(10*time.Second),
+		runq.WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, WithQueue(q), WithTracer(tracer))
+	defer q.Shutdown(context.Background())
+
+	// Record the worker's lease-protocol headers on the way through.
+	var mu sync.Mutex
+	headers := map[string]string{} // path → traceparent, for requests naming a worker
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wk := r.Header.Get(runq.WorkerHeader); wk != "" {
+			mu.Lock()
+			headers[r.URL.Path] = r.Header.Get(runq.TraceparentHeader)
+			mu.Unlock()
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	st := postRun(t, ts.URL, `{"scenario":"DS-2","mode":"smart","name":"traced-remote","runs":2,"seed":300}`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w := &runq.Worker{Server: ts.URL, Name: "tw1", Workers: 2, Poll: 20 * time.Millisecond,
+		TraceSample: 1} // sample every episode: the continuity check needs them
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = w.Run(ctx)
+	}()
+	final := waitRun(t, ts.URL, st.ID, 2*time.Minute)
+	if final.State != "done" {
+		t.Fatalf("remote run finished %q: %s", final.State, final.Error)
+	}
+	cancel()
+	<-workerDone
+
+	wantTID := trace.ID(trace.DeriveTraceID("traced-remote", 300))
+	traces := trace.Collect(sink.Spans())
+	tr := trace.Find(traces, wantTID)
+	if tr == nil {
+		t.Fatalf("no trace %s in the sink (have %d traces)", wantTID, len(traces))
+	}
+	svcs := tr.Services()
+	if len(svcs) < 2 {
+		t.Fatalf("trace spans one service %v; want spans from both sides of the process boundary", svcs)
+	}
+	names := map[string]int{}
+	for _, sp := range tr.Spans {
+		if sp.TraceID != wantTID {
+			t.Fatalf("span %s carries trace %s, want %s", sp.SpanID, sp.TraceID, wantTID)
+		}
+		names[sp.Name]++
+	}
+	for _, want := range []string{"run", "queue-wait", "lease", "worker-job", "engine-job", "episode"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q span (have %v)", want, names)
+		}
+	}
+	if tr.Root == nil || tr.Root.Name != "run" {
+		t.Error("root span missing or not the run span")
+	}
+
+	// The analysis layer works over the real trace: a critical path
+	// from the root and a breakdown that saw the queue and the worker.
+	path := trace.CriticalPath(tr)
+	if len(path) < 3 || path[0].Span.Name != "run" {
+		t.Errorf("critical path too shallow: %d nodes", len(path))
+	}
+	bd := trace.Summarize(tr)
+	if bd.Exec <= 0 || bd.Episodes == 0 {
+		t.Errorf("breakdown missing exec/episodes: %+v", bd)
+	}
+
+	// Header continuity: the worker's in-run requests carried the job's
+	// traceparent.
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := headers["/lease"]; !ok {
+		t.Error("lease request missing the worker header")
+	}
+	epPath := fmt.Sprintf("/runs/%d/episodes", st.ID)
+	wantHdr := trace.FormatTraceparent(uint64(wantTID), trace.DeriveSpanID(uint64(wantTID), 1, trace.StreamLease))
+	if got := headers[epPath]; got != wantHdr {
+		t.Errorf("episode stream traceparent %q, want %q", got, wantHdr)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 )
 
 // Job-level instrumentation: latency and throughput of individual
@@ -196,6 +197,12 @@ func (e *Engine) Stream(baseSeed int64, jobs []Job) <-chan Result {
 		workers = 1
 	}
 
+	// Trace context, resolved once per batch: when the engine's context
+	// carries an active span (the lease or worker-job span), every job
+	// gets its own child span whose ID derives from the job's seed — so
+	// reruns of the same campaign produce identical span IDs.
+	sc, traced := trace.FromContext(e.ctx)
+
 	idx := make(chan int)
 	go func() {
 		defer close(idx)
@@ -238,7 +245,15 @@ func (e *Engine) Stream(baseSeed int64, jobs []Job) <-chan Result {
 					}
 					start = time.Now()
 				}
-				v, err := jobs[i](jobCtx, seed)
+				runCtx := jobCtx
+				var sp *trace.Span
+				if traced {
+					sp = sc.Tracer.StartSpan(sc, "engine-job",
+						trace.DeriveSpanID(sc.TraceID, uint64(seed), trace.StreamEngineJob))
+					runCtx = sp.Context(jobCtx)
+				}
+				v, err := jobs[i](runCtx, seed)
+				sp.Finish()
 				if en {
 					jobObs.seconds.Observe(time.Since(start).Seconds())
 					jobObs.total.Add(1)

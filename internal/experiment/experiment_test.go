@@ -14,6 +14,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/nn"
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 	"github.com/robotack/robotack/internal/results"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/scenegen"
@@ -375,6 +376,71 @@ func TestCampaignMetricsInert(t *testing.T) {
 	on := runOnce(true)
 	if string(off) != string(on) {
 		t.Errorf("records differ with metrics on vs off:\noff %s\non  %s", off, on)
+	}
+}
+
+// TestCampaignTracesInert: span tracing, like metrics, never feeds
+// back into results — the same campaign persists byte-identical
+// episode and aggregate records with tracing off and on, even while
+// the traced run writes real spans through the durable binary sink.
+func TestCampaignTracesInert(t *testing.T) {
+	c := Campaign{Name: "traced-inert", Scenario: scenario.DS2, Mode: core.ModeSmart,
+		PreferDisappearFor: sim.ClassPedestrian, ExpectCrashes: true}
+
+	runOnce := func(traced bool) []byte {
+		t.Helper()
+		ctx := context.Background()
+		var tr *trace.Tracer
+		var dir string
+		if traced {
+			dir = t.TempDir()
+			sink, err := trace.NewFileSink(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sample 1-in-2 so both the annotated and the exemplar
+			// episode paths execute.
+			tr = trace.New("test", sink, trace.WithSampleEvery(2))
+			tid := trace.DeriveTraceID("traced-inert", 500)
+			ctx = trace.NewContext(ctx, trace.SpanContext{
+				Tracer: tr, TraceID: tid, SpanID: trace.DeriveSpanID(tid, 0, trace.StreamRun)})
+		}
+		mem := results.NewMemStore()
+		res, err := RunCampaignOn(engine.New(engine.WithWorkers(4), engine.WithContext(ctx)),
+			c, 8, 500, nil, WithSink(mem))
+		if err != nil {
+			t.Fatalf("traced=%v: %v", traced, err)
+		}
+		if traced {
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			spans, err := trace.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(spans) == 0 {
+				t.Fatal("traced run emitted no spans; the inertness claim would be vacuous")
+			}
+		}
+		eps, err := mem.Episodes("traced-inert")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(struct {
+			Result   CampaignResult
+			Episodes []results.EpisodeRecord
+		}{res, eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	off := runOnce(false)
+	on := runOnce(true)
+	if string(off) != string(on) {
+		t.Errorf("records differ with tracing on vs off:\noff %s\non  %s", off, on)
 	}
 }
 

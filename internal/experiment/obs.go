@@ -2,17 +2,21 @@ package experiment
 
 // Frame-pipeline instrumentation. Each perception stage of the Fig. 1
 // loop gets a latency histogram series (stage label), plus frame and
-// episode throughput counters. Recording is observational only: it
-// reads the wall clock and bumps atomics, and never touches seeds, RNG
-// streams or result fields, so instrumented campaigns are bit-identical
-// to uninstrumented ones. The handles live in the per-worker Scratch
-// and recording is allocation-free (TestFrameStepZeroAllocs covers the
-// instrumented loop).
+// episode throughput counters; when the episode runs under an active
+// trace span, the same clock reads also accumulate into the span's
+// per-stage slots. Recording is observational only: it reads the wall
+// clock and bumps atomics, and never touches seeds, RNG streams or
+// result fields, so instrumented campaigns are bit-identical to
+// uninstrumented ones. The handles live in the per-worker Scratch and
+// recording is allocation-free (TestFrameStepZeroAllocs covers the
+// instrumented loop with tracing enabled).
 
 import (
 	"time"
 
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
+	"github.com/robotack/robotack/internal/perception"
 )
 
 var frameStageBuckets = obs.ExpBuckets(1e-6, 2, 14) // 1µs .. 8.192ms
@@ -28,27 +32,25 @@ var (
 	episodesTotal = obs.NewCounter("robotack_episodes_total", "Episodes completed.")
 )
 
-// frameObs is one worker's set of shard-pinned recording handles.
+// frameObs is one worker's set of shard-pinned recording handles,
+// one histogram per perception.Stage* index.
 type frameObs struct {
-	init                                                bool
-	sensor, malware, lidar, detect, track, fusion, plan obs.HistogramHandle
-	frames                                              obs.CounterHandle
-	episodes                                            obs.CounterHandle
+	init     bool
+	stage    [perception.NumStages]obs.HistogramHandle
+	frames   obs.CounterHandle
+	episodes obs.CounterHandle
 }
 
 func newFrameObs() frameObs {
-	return frameObs{
+	fo := frameObs{
 		init:     true,
-		sensor:   stageHist("sensor").Handle(),
-		malware:  stageHist("malware").Handle(),
-		lidar:    stageHist("lidar").Handle(),
-		detect:   stageHist("detect").Handle(),
-		track:    stageHist("track").Handle(),
-		fusion:   stageHist("fusion").Handle(),
-		plan:     stageHist("plan").Handle(),
 		frames:   framesTotal.Handle(),
 		episodes: episodesTotal.Handle(),
 	}
+	for i, name := range perception.StageNames {
+		fo.stage[i] = stageHist(name).Handle()
+	}
+	return fo
 }
 
 // frameObsHandles returns the scratch's recording handles, building
@@ -61,25 +63,32 @@ func (s *Scratch) frameObsHandles() *frameObs {
 }
 
 // stageClock times consecutive stages within one frame: each tick
-// observes the span since the previous tick and restarts. A clock
-// started off is free — every method is a branch on a bool.
+// observes the span since the previous tick into the stage's histogram
+// (when metrics are on) and into the episode span's stage slot (when
+// the frame is span-annotated), then restarts. A clock started with
+// neither destination is free — every method is a branch.
 type stageClock struct {
-	t  time.Time
-	on bool
+	t       time.Time
+	metrics bool
+	sp      *trace.Span
 }
 
-func startStageClock(on bool) stageClock {
-	if !on {
+func startStageClock(metricsOn bool, sp *trace.Span) stageClock {
+	if !metricsOn && sp == nil {
 		return stageClock{}
 	}
-	return stageClock{t: time.Now(), on: true}
+	return stageClock{t: time.Now(), metrics: metricsOn, sp: sp}
 }
 
-func (c *stageClock) tick(h obs.HistogramHandle) {
-	if !c.on {
+func (c *stageClock) tick(fo *frameObs, stage int) {
+	if !c.metrics && c.sp == nil {
 		return
 	}
 	now := time.Now()
-	h.Observe(now.Sub(c.t).Seconds())
+	d := now.Sub(c.t)
+	if c.metrics {
+		fo.stage[stage].Observe(d.Seconds())
+	}
+	c.sp.StageAdd(stage, d) // nil-safe
 	c.t = now
 }

@@ -12,6 +12,8 @@ import (
 
 	"github.com/robotack/robotack/internal/core"
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
+	"github.com/robotack/robotack/internal/perception"
 	"github.com/robotack/robotack/internal/planner"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
@@ -149,11 +151,18 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		malware = s.malwareFor(mcfg, cfg.Attack.Oracles, stats.NewRNG(cfg.Seed*31337+7))
 	}
 
-	// Stage timing is observational only: the clock and counters never
-	// feed back into the simulation, RNG streams or result fields, so
-	// the episode is bit-identical with metrics on, off, or absent.
+	// Stage timing and span tracing are observational only: the clock,
+	// counters and span never feed back into the simulation, RNG streams
+	// or result fields, so the episode is bit-identical with metrics and
+	// tracing on, off, or absent (TestCampaignMetricsInert,
+	// TestCampaignTracesInert).
 	en := obs.Enabled()
 	fo := s.frameObsHandles()
+	var sp *trace.Span
+	if sc, ok := trace.FromContext(ctx); ok {
+		sp = sc.Tracer.StartEpisode(sc, cfg.Seed)
+		defer sp.Finish()
+	}
 
 	res := RunResult{MinDelta: safety.MaxDSafe}
 	launched := false
@@ -164,27 +173,34 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		// Stage latencies are sampled (1 frame in 16): seven clock reads
 		// per frame cost ~12% episode throughput, sampled they are noise,
 		// and the histograms are statistical either way. Frame/episode
-		// counters stay exact.
-		clk := startStageClock(en && i&15 == 0)
+		// counters stay exact. Span stage annotation rides the same
+		// sampled frames, scaled back at analysis time.
+		sampledFrame := i&15 == 0
+		spFrame := sp
+		if !sampledFrame {
+			spFrame = nil
+		}
+		clk := startStageClock(en && sampledFrame, spFrame)
 		frame := cam.CaptureInto(&s.capture, w, i)
-		clk.tick(fo.sensor)
+		clk.tick(fo, perception.StageSensor)
 		if malware != nil {
 			malware.SetEVSpeed(w.EV.Speed)
 			malware.Process(frame.Image, i)
-			clk.tick(fo.malware)
+			clk.tick(fo, perception.StageMalware)
 		}
 		scan := lidar.Scan(w)
-		clk.tick(fo.lidar)
+		clk.tick(fo, perception.StageLidar)
 		dets := ads.StageDetect(frame.Image)
-		clk.tick(fo.detect)
+		clk.tick(fo, perception.StageDetectIdx)
 		tracks := ads.StageTrack(dets)
-		clk.tick(fo.track)
+		clk.tick(fo, perception.StageTrackIdx)
 		objs := ads.StageFuse(tracks, scan)
-		clk.tick(fo.fusion)
+		clk.tick(fo, perception.StageFusionIdx)
 		d := pl.Plan(objs, ads.Fusion.Config(), w.EV, w.Road)
-		clk.tick(fo.plan)
+		clk.tick(fo, perception.StagePlan)
 		w.Step(d.Accel)
 		res.Frames++
+		sp.FrameDone(sampledFrame)
 		if en {
 			fo.frames.Add(1)
 		}

@@ -193,3 +193,60 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+// TestExpBucketsEdges pins the degenerate shapes: a single bucket is
+// legal (the bound list is just [start]), while a non-positive start,
+// a non-growing factor or an empty layout panic at construction — a
+// malformed latency layout must fail at registration, not mis-bucket
+// silently forever.
+func TestExpBucketsEdges(t *testing.T) {
+	if b := ExpBuckets(0.5, 2, 1); len(b) != 1 || b[0] != 0.5 {
+		t.Errorf("ExpBuckets(0.5, 2, 1) = %v, want [0.5]", b)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("factor=1", func() { ExpBuckets(1e-4, 1, 10) })
+	mustPanic("factor<1", func() { ExpBuckets(1e-4, 0.5, 10) })
+	mustPanic("start=0", func() { ExpBuckets(0, 2, 10) })
+	mustPanic("start<0", func() { ExpBuckets(-1, 2, 10) })
+	mustPanic("n=0", func() { ExpBuckets(1e-4, 2, 0) })
+}
+
+// TestPrometheusLabelEscaping: backslash, double-quote and newline in
+// label values must come out escaped per the exposition format — an
+// unescaped newline would split a series line and corrupt the whole
+// scrape.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string
+	}{
+		{"newline", "a\nb", `t_esc_total{v="a\nb"} 1`},
+		{"backslash", `a\b`, `t_esc_total{v="a\\b"} 1`},
+		{"quote", `a"b`, `t_esc_total{v="a\"b"} 1`},
+		{"mixed", "\\\"\n", `t_esc_total{v="\\\"\n"} 1`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("t_esc_total", "Escaping probe.", Label{"v", tc.value}).Add(1)
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+			got := lines[len(lines)-1]
+			if got != tc.want {
+				t.Errorf("series line = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,403 @@
+// Package trace is the fleet's span tracer, built in the style of
+// internal/obs: dependency-free, allocation-free on the hot path, and
+// strictly observational — tracing an episode must never change its
+// result bytes.
+//
+// A trace follows one campaign run end to end: campaignd opens a root
+// span when the run is submitted, runq records queue-wait, dispatch/
+// lease, heartbeat and requeue spans, robotack-worker continues the
+// trace across the process boundary (the lease protocol carries
+// traceparent-style headers), the engine emits one span per job, and
+// the experiment runner emits sampled per-episode spans annotated with
+// the frame-stage latencies the perception.Stage* instrumentation
+// points already time.
+//
+// Determinism is the same contract the engine makes: every trace and
+// span ID is derived with a SplitMix64 finalizer from values that are
+// themselves pure functions of (baseSeed, jobIndex) — so a re-run of
+// the same campaign produces byte-identical IDs, and a server and a
+// worker can each derive the other's span IDs without exchanging them.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// splitmix is the SplitMix64 finalizer — the same mixing constants as
+// engine.SplitMixSeeds, so ID quality matches the seed derivation the
+// repo already trusts.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveTraceID derives the deterministic trace ID of one campaign run
+// from its record name and base seed: FNV-1a over the name, mixed with
+// the seed through the finalizer. Never zero (zero means "no trace").
+func DeriveTraceID(name string, seed int64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	id := splitmix(h ^ splitmix(uint64(seed)))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Streams partition the span-ID space so spans keyed by the same value
+// (a job's attempt number, an episode's seed) cannot collide across
+// span kinds. Both ends of the lease protocol derive the same IDs from
+// the same (traceID, key, stream) triple — that is what lets a worker
+// parent its spans under the server's lease span without the server
+// ever sending the span ID.
+const (
+	StreamRun uint64 = iota + 1
+	StreamQueueWait
+	StreamLease
+	StreamHeartbeat
+	StreamRequeue
+	StreamWorkerJob
+	StreamEngineJob
+	StreamEpisode
+)
+
+// DeriveSpanID derives a deterministic span ID within a trace. key is
+// the span's natural identity in its stream: the lease attempt for
+// queue spans, the derived episode seed for episode spans. Never zero.
+func DeriveSpanID(traceID, key, stream uint64) uint64 {
+	id := splitmix(traceID ^ splitmix(key*0x9e3779b97f4a7c15^stream))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// sampleSalt decorrelates the sampling decision from the span-ID
+// derivation so "every Nth span" is not systematically aligned with
+// any seed pattern.
+const sampleSalt = 0x5bd1e995
+
+// SampleDecision reports whether a span with the given ID is sampled
+// at rate 1-in-n. The decision is a pure function of (spanID, n), so
+// the same episodes are sampled on every rerun — and on every worker.
+func SampleDecision(spanID, n uint64) bool {
+	if n <= 1 {
+		return true
+	}
+	return splitmix(spanID^sampleSalt)%n == 0
+}
+
+// SpanContext carries the active trace through context.Context and
+// across process boundaries: who to emit to, which trace, and the
+// parent span for children started under it.
+type SpanContext struct {
+	Tracer  *Tracer
+	TraceID uint64
+	SpanID  uint64
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx with sc attached.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the active SpanContext. ok is false when ctx
+// carries none (or a zero one) — the fast path for untraced runs is a
+// single map-free context lookup per job, never per frame.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, sc.Tracer != nil && sc.TraceID != 0
+}
+
+// Frame-stage slots on an episode span. Callers annotate stages by
+// index (the experiment runner uses perception.Stage* constants, which
+// fit); MaxStages bounds the fixed per-span array so annotation stays
+// allocation-free.
+const MaxStages = 8
+
+// maxAttrs bounds the fixed per-span attribute array; SetAttr drops
+// overflow rather than allocating.
+const maxAttrs = 4
+
+// Attr is one string key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one in-flight span. Spans are pooled by their Tracer and
+// recycled on Finish; all methods are nil-receiver safe so untraced
+// code paths cost one branch. A Span must not be touched after Finish.
+type Span struct {
+	tracer  *Tracer
+	start   time.Time
+	episode bool
+
+	d       SpanData
+	nstages int
+	stages  [MaxStages]int64
+	nattrs  int
+	attrs   [maxAttrs]Attr
+}
+
+// Tracer creates, samples, pools and emits spans for one service (a
+// server or worker process, named in every span it emits).
+type Tracer struct {
+	service string
+	sink    Sink
+	sampleN uint64
+	pool    sync.Pool
+
+	slowN int
+	mu    sync.Mutex
+	slow  []SpanData
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// DefaultSampleEvery is the default episode sampling rate: 1 episode
+// in 16 gets a full span. Frame-stage annotation within a sampled
+// episode reuses the metrics' own 1-in-16 frame sampling.
+const DefaultSampleEvery = 16
+
+// DefaultSlowExemplars is how many of the slowest unsampled episodes a
+// tracer retains and emits (flagged as exemplars) when it closes.
+const DefaultSlowExemplars = 8
+
+// WithSampleEvery sets the episode sampling rate to 1-in-n (n <= 1:
+// every episode).
+func WithSampleEvery(n int) Option {
+	return func(t *Tracer) {
+		if n >= 1 {
+			t.sampleN = uint64(n)
+		}
+	}
+}
+
+// WithSlowExemplars sets how many slowest unsampled episodes to retain
+// (0 disables exemplars).
+func WithSlowExemplars(n int) Option {
+	return func(t *Tracer) {
+		if n >= 0 {
+			t.slowN = n
+		}
+	}
+}
+
+// New creates a Tracer emitting to sink under the given service name.
+// A nil sink means the tracer drops everything (NopSink).
+func New(service string, sink Sink, opts ...Option) *Tracer {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	t := &Tracer{
+		service: service,
+		sink:    sink,
+		sampleN: DefaultSampleEvery,
+		slowN:   DefaultSlowExemplars,
+	}
+	t.pool.New = func() any { return new(Span) }
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Service reports the tracer's service name.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// StartSpan begins a span under sc with the given deterministic span
+// ID. Nil-safe: a nil tracer returns a nil span, and every Span method
+// tolerates nil.
+func (t *Tracer) StartSpan(sc SpanContext, name string, spanID uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	s := t.pool.Get().(*Span)
+	*s = Span{tracer: t, start: time.Now()}
+	s.d = SpanData{
+		TraceID: ID(sc.TraceID),
+		SpanID:  ID(spanID),
+		Parent:  ID(sc.SpanID),
+		Name:    name,
+		Service: t.service,
+		Start:   s.start.UnixNano(),
+		Sampled: true,
+	}
+	return s
+}
+
+// StartEpisode begins an episode span whose ID derives from the
+// episode's seed — identical across reruns and across whichever
+// process executes the job. Unsampled episode spans are not emitted on
+// Finish; they compete for a slow-exemplar slot instead.
+func (t *Tracer) StartEpisode(sc SpanContext, seed int64) *Span {
+	if t == nil {
+		return nil
+	}
+	spanID := DeriveSpanID(sc.TraceID, uint64(seed), StreamEpisode)
+	s := t.StartSpan(sc, "episode", spanID)
+	s.episode = true
+	s.d.Seed = seed
+	s.d.Sampled = SampleDecision(spanID, t.sampleN)
+	return s
+}
+
+// Emit hands a fully built SpanData straight to the sink — the path
+// for retroactive spans assembled from recorded timestamps (runq's
+// queue-wait and lease spans) and for spans forwarded from another
+// process (the worker-span ingest endpoint preserves the origin
+// service name). The sink must not retain d's slices.
+func (t *Tracer) Emit(d *SpanData) {
+	if t == nil {
+		return
+	}
+	if d.Service == "" {
+		d.Service = t.service
+	}
+	t.sink.Emit(d)
+}
+
+// offerSlow competes an unsampled finished episode for an exemplar
+// slot: the slowN slowest survive, by wall duration.
+func (t *Tracer) offerSlow(d *SpanData) {
+	if t.slowN <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.slow) < t.slowN {
+		t.slow = append(t.slow, d.Clone())
+		return
+	}
+	min := 0
+	for i := 1; i < len(t.slow); i++ {
+		if t.slow[i].Dur < t.slow[min].Dur {
+			min = i
+		}
+	}
+	if d.Dur > t.slow[min].Dur {
+		t.slow[min] = d.Clone()
+	}
+}
+
+// Flush emits the retained slow-episode exemplars (flagged Exemplar)
+// and clears them. Close calls it; callers with long-lived tracers may
+// call it at job boundaries so exemplars land near their run.
+func (t *Tracer) Flush() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	slow := t.slow
+	t.slow = nil
+	t.mu.Unlock()
+	for i := range slow {
+		slow[i].Exemplar = true
+		t.sink.Emit(&slow[i])
+	}
+}
+
+// Close flushes exemplars and closes the sink if it is closable.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.Flush()
+	if c, ok := t.sink.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Context returns ctx with this span as the active parent, so children
+// started under the returned context nest beneath it.
+func (s *Span) Context(ctx context.Context) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return NewContext(ctx, SpanContext{
+		Tracer:  s.tracer,
+		TraceID: uint64(s.d.TraceID),
+		SpanID:  uint64(s.d.SpanID),
+	})
+}
+
+// Sampled reports whether the span will be emitted on Finish. Callers
+// may use it to skip annotation work for unsampled spans — but
+// StageAdd and FrameDone are cheap enough to call unconditionally.
+func (s *Span) Sampled() bool { return s != nil && s.d.Sampled }
+
+// StageAdd accumulates d of stage latency into the span's stage slot.
+// Allocation-free: a fixed array add and two stores.
+func (s *Span) StageAdd(stage int, d time.Duration) {
+	if s == nil || stage < 0 || stage >= MaxStages {
+		return
+	}
+	s.stages[stage] += int64(d)
+	if stage >= s.nstages {
+		s.nstages = stage + 1
+	}
+}
+
+// FrameDone counts one simulation frame against the span; sampled
+// marks frames whose stage latencies were annotated, so analysis can
+// scale stage totals back to full-episode estimates.
+func (s *Span) FrameDone(sampled bool) {
+	if s == nil {
+		return
+	}
+	s.d.Frames++
+	if sampled {
+		s.d.SampledFrames++
+	}
+}
+
+// SetAttr annotates the span. At most maxAttrs attributes stick;
+// overflow is dropped, not allocated for.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Value: value}
+	s.nattrs++
+}
+
+// Finish completes the span: sampled spans go to the sink, unsampled
+// episode spans compete for a slow-exemplar slot, and the Span returns
+// to the pool either way. The span must not be used afterwards.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	s.d.Dur = int64(time.Since(s.start))
+	if s.nstages > 0 {
+		s.d.Stages = s.stages[:s.nstages]
+	}
+	if s.nattrs > 0 {
+		s.d.Attrs = s.attrs[:s.nattrs]
+	}
+	if s.episode && !s.d.Sampled {
+		t.offerSlow(&s.d)
+	} else {
+		t.sink.Emit(&s.d)
+	}
+	*s = Span{}
+	t.pool.Put(s)
+}

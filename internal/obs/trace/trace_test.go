@@ -1,0 +1,474 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeriveIDsDeterministic pins the ID contract: pure functions of
+// their inputs, never zero, and decorrelated across streams — the
+// whole cross-process design rests on a server and a worker deriving
+// identical IDs independently.
+func TestDeriveIDsDeterministic(t *testing.T) {
+	a := DeriveTraceID("DS-2-Smart-R", 500)
+	b := DeriveTraceID("DS-2-Smart-R", 500)
+	if a != b {
+		t.Fatalf("DeriveTraceID not deterministic: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("DeriveTraceID returned zero")
+	}
+	if DeriveTraceID("DS-2-Smart-R", 501) == a {
+		t.Error("seed change did not change the trace ID")
+	}
+	if DeriveTraceID("DS-3-Smart-R", 500) == a {
+		t.Error("name change did not change the trace ID")
+	}
+
+	lease := DeriveSpanID(a, 1, StreamLease)
+	if lease == 0 {
+		t.Fatal("DeriveSpanID returned zero")
+	}
+	if lease != DeriveSpanID(a, 1, StreamLease) {
+		t.Error("DeriveSpanID not deterministic")
+	}
+	seen := map[uint64]uint64{}
+	for _, stream := range []uint64{StreamRun, StreamQueueWait, StreamLease, StreamHeartbeat,
+		StreamRequeue, StreamWorkerJob, StreamEngineJob, StreamEpisode} {
+		id := DeriveSpanID(a, 1, stream)
+		if prev, dup := seen[id]; dup {
+			t.Errorf("streams %d and %d collide on span ID %x", prev, stream, id)
+		}
+		seen[id] = stream
+	}
+}
+
+// TestTraceparentRoundTrip: format → parse is the identity, and
+// malformed headers read as "untraced" rather than erroring.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := DeriveTraceID("rt", 7)
+	sid := DeriveSpanID(tid, 3, StreamLease)
+	hdr := FormatTraceparent(tid, sid)
+	if len(hdr) != 55 {
+		t.Fatalf("header length = %d, want 55 (%q)", len(hdr), hdr)
+	}
+	gotT, gotS, ok := ParseTraceparent(hdr)
+	if !ok || gotT != tid || gotS != sid {
+		t.Fatalf("round trip: got (%x,%x,%v), want (%x,%x,true)", gotT, gotS, ok, tid, sid)
+	}
+	for _, bad := range []string{
+		"", "00", "garbage",
+		"01-" + hdr[3:], // wrong version
+		hdr[:54],        // truncated
+		"00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-zzzzzzzzzzzzzzzz-01",
+		FormatTraceparent(0, sid), // zero trace means untraced
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSampleDecision: deterministic, exhaustive at n<=1, and roughly
+// 1-in-n over a run of derived episode span IDs.
+func TestSampleDecision(t *testing.T) {
+	tid := DeriveTraceID("sample", 9)
+	if !SampleDecision(tid, 0) || !SampleDecision(tid, 1) {
+		t.Error("n <= 1 must sample everything")
+	}
+	const n, total = 16, 4096
+	hits := 0
+	for seed := int64(0); seed < total; seed++ {
+		id := DeriveSpanID(tid, uint64(seed), StreamEpisode)
+		if SampleDecision(id, n) != SampleDecision(id, n) {
+			t.Fatal("SampleDecision not deterministic")
+		}
+		if SampleDecision(id, n) {
+			hits++
+		}
+	}
+	// Loose bounds: the point is "about 1/16", not an exact binomial.
+	if hits < total/n/2 || hits > total/n*2 {
+		t.Errorf("sampled %d of %d at 1-in-%d; expected near %d", hits, total, n, total/n)
+	}
+}
+
+// TestSpanLifecycle drives a parent/child pair through a CollectSink
+// and checks everything the analysis layer depends on: parent linkage,
+// service stamping, stage and attr capture, duration.
+func TestSpanLifecycle(t *testing.T) {
+	sink := &CollectSink{}
+	tr := New("test-svc", sink)
+	tid := DeriveTraceID("life", 1)
+	root := tr.StartSpan(SpanContext{Tracer: tr, TraceID: tid}, "run", DeriveSpanID(tid, 0, StreamRun))
+	root.SetAttr("campaign", "life")
+
+	sc, ok := FromContext(root.Context(t.Context()))
+	if !ok {
+		t.Fatal("FromContext lost the span context")
+	}
+	child := tr.StartSpan(sc, "engine-job", DeriveSpanID(tid, 42, StreamEngineJob))
+	child.StageAdd(0, 3*time.Millisecond)
+	child.StageAdd(2, time.Millisecond)
+	child.StageAdd(0, time.Millisecond)
+	child.FrameDone(true)
+	child.FrameDone(false)
+	child.Finish()
+	root.Finish()
+
+	spans := sink.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1]
+	if c.Name != "engine-job" || r.Name != "run" {
+		t.Fatalf("unexpected emit order: %q, %q", c.Name, r.Name)
+	}
+	if c.Parent != r.SpanID {
+		t.Errorf("child parent = %s, want %s", c.Parent, r.SpanID)
+	}
+	if c.Service != "test-svc" || r.Service != "test-svc" {
+		t.Errorf("service not stamped: %q, %q", c.Service, r.Service)
+	}
+	if want := []int64{int64(4 * time.Millisecond), 0, int64(time.Millisecond)}; len(c.Stages) != 3 ||
+		c.Stages[0] != want[0] || c.Stages[1] != want[1] || c.Stages[2] != want[2] {
+		t.Errorf("stages = %v, want %v", c.Stages, want)
+	}
+	if c.Frames != 2 || c.SampledFrames != 1 {
+		t.Errorf("frames = %d/%d, want 2/1", c.SampledFrames, c.Frames)
+	}
+	if r.Attr("campaign") != "life" {
+		t.Errorf("root attr campaign = %q", r.Attr("campaign"))
+	}
+	if c.Dur < 0 || r.Dur < c.Dur {
+		t.Errorf("durations inconsistent: child %d, root %d", c.Dur, r.Dur)
+	}
+}
+
+// TestNilSafety: the untraced path is nil receivers everywhere; none
+// of it may panic.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan(SpanContext{}, "x", 1)
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	sp = tr.StartEpisode(SpanContext{}, 1)
+	sp.StageAdd(0, time.Millisecond)
+	sp.FrameDone(true)
+	sp.SetAttr("k", "v")
+	if sp.Sampled() {
+		t.Error("nil span reports sampled")
+	}
+	ctx := sp.Context(t.Context())
+	if _, ok := FromContext(ctx); ok {
+		t.Error("nil span produced an active context")
+	}
+	sp.Finish()
+	tr.Emit(&SpanData{})
+	tr.Flush()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpisodeSamplingAndExemplars: unsampled episodes are withheld at
+// Finish, the slowest survive as exemplars, and Flush emits them
+// flagged.
+func TestEpisodeSamplingAndExemplars(t *testing.T) {
+	sink := &CollectSink{}
+	// sampleN huge: no episode is sampled, all compete for 2 slots.
+	tr := New("w", sink, WithSampleEvery(1<<30), WithSlowExemplars(2))
+	tid := DeriveTraceID("ex", 3)
+	sc := SpanContext{Tracer: tr, TraceID: tid}
+	durs := []time.Duration{4 * time.Millisecond, time.Millisecond, 8 * time.Millisecond, 2 * time.Millisecond}
+	for i, d := range durs {
+		sp := tr.StartEpisode(sc, int64(i))
+		if sp.Sampled() {
+			t.Fatalf("episode %d sampled at rate 1-in-2^30", i)
+		}
+		sp.start = sp.start.Add(-d) // backdate so Finish sees ~d of wall time
+		sp.Finish()
+	}
+	if n := len(sink.Spans()); n != 0 {
+		t.Fatalf("%d spans emitted before Flush, want 0", n)
+	}
+	tr.Flush()
+	spans := sink.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d exemplars, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if !sp.Exemplar {
+			t.Errorf("exemplar flag missing on seed %d", sp.Seed)
+		}
+		if sp.Seed != 0 && sp.Seed != 2 {
+			t.Errorf("seed %d survived; want the two slowest (0 and 2)", sp.Seed)
+		}
+	}
+	// Flush drained the slots; a second flush emits nothing.
+	tr.Flush()
+	if n := len(sink.Spans()); n != 2 {
+		t.Errorf("second Flush emitted %d more spans", n-2)
+	}
+}
+
+// makeSpans builds a plausible cross-process trace for analysis tests:
+// root → queue-wait + lease → worker-job → engine-job → episodes.
+func makeSpans(tid uint64, base int64) []SpanData {
+	ms := int64(time.Millisecond)
+	id := func(key, stream uint64) ID { return ID(DeriveSpanID(tid, key, stream)) }
+	spans := []SpanData{
+		{TraceID: ID(tid), SpanID: id(0, StreamRun), Name: "run", Service: "serve",
+			Start: base, Dur: 100 * ms, Sampled: true,
+			Attrs: []Attr{{Key: "campaign", Value: "DS-2-Smart-R"}}},
+		{TraceID: ID(tid), SpanID: id(1, StreamQueueWait), Parent: id(0, StreamRun),
+			Name: "queue-wait", Service: "serve", Start: base, Dur: 20 * ms, Sampled: true},
+		{TraceID: ID(tid), SpanID: id(1, StreamLease), Parent: id(0, StreamRun),
+			Name: "lease", Service: "serve", Start: base + 20*ms, Dur: 80 * ms, Sampled: true},
+		{TraceID: ID(tid), SpanID: id(1, StreamWorkerJob), Parent: id(1, StreamLease),
+			Name: "worker-job", Service: "w1", Start: base + 25*ms, Dur: 70 * ms, Sampled: true},
+		{TraceID: ID(tid), SpanID: id(7, StreamEngineJob), Parent: id(1, StreamWorkerJob),
+			Name: "engine-job", Service: "w1", Start: base + 26*ms, Dur: 68 * ms, Sampled: true},
+		{TraceID: ID(tid), SpanID: id(1001, StreamEpisode), Parent: id(7, StreamEngineJob),
+			Name: "episode", Service: "w1", Start: base + 27*ms, Dur: 30 * ms,
+			Seed: 1001, Frames: 32, SampledFrames: 2, Sampled: true,
+			Stages: []int64{10 * ms, 5 * ms}},
+		{TraceID: ID(tid), SpanID: id(1002, StreamEpisode), Parent: id(7, StreamEngineJob),
+			Name: "episode", Service: "w1", Start: base + 58*ms, Dur: 35 * ms,
+			Seed: 1002, Frames: 32, SampledFrames: 2, Sampled: true},
+	}
+	return spans
+}
+
+// TestAnalyze covers Collect, the critical path, the breakdown, the
+// slowest ranking and the Chrome export over one synthetic trace.
+func TestAnalyze(t *testing.T) {
+	tid := DeriveTraceID("an", 11)
+	spans := makeSpans(tid, int64(time.Hour))
+	traces := Collect(spans)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Root == nil || tr.Root.Name != "run" {
+		t.Fatal("root not resolved")
+	}
+	if got := tr.Name(); got != "DS-2-Smart-R" {
+		t.Errorf("trace name = %q", got)
+	}
+	if svcs := tr.Services(); len(svcs) != 2 || svcs[0] != "serve" || svcs[1] != "w1" {
+		t.Errorf("services = %v, want [serve w1]", svcs)
+	}
+	if Find(traces, tr.ID) != tr || Find(traces, tr.ID+1) != nil {
+		t.Error("Find misbehaves")
+	}
+
+	path := CriticalPath(tr)
+	if len(path) == 0 || path[0].Span.Name != "run" {
+		t.Fatalf("critical path does not start at root: %+v", path)
+	}
+	names := make([]string, len(path))
+	for i, n := range path {
+		names[i] = n.Span.Name
+	}
+	want := "run>lease>worker-job>engine-job>episode"
+	if got := strings.Join(names, ">"); got != want {
+		t.Errorf("critical path = %s, want %s", got, want)
+	}
+
+	bd := Summarize(tr)
+	if bd.QueueWait != 20*time.Millisecond {
+		t.Errorf("queue wait = %v, want 20ms", bd.QueueWait)
+	}
+	if bd.Exec != 80*time.Millisecond {
+		t.Errorf("exec = %v, want 80ms", bd.Exec)
+	}
+	if bd.LeaseLatency != 5*time.Millisecond {
+		t.Errorf("lease latency = %v, want 5ms", bd.LeaseLatency)
+	}
+	if bd.Episodes != 2 || bd.EngineJobs != 1 {
+		t.Errorf("counts: %d episodes, %d jobs", bd.Episodes, bd.EngineJobs)
+	}
+
+	slow := Slowest(traces, 1)
+	if len(slow) != 1 || slow[0].Seed != 1002 {
+		t.Errorf("slowest = %+v, want seed 1002", slow)
+	}
+
+	var buf bytes.Buffer
+	FormatList(&buf, traces)
+	if !strings.Contains(buf.String(), "services=serve,w1") {
+		t.Errorf("FormatList output missing services: %q", buf.String())
+	}
+	buf.Reset()
+	FormatCriticalPath(&buf, tr, []string{"sensor", "malware"})
+	out := buf.String()
+	if !strings.Contains(out, "queue-wait") || !strings.Contains(out, "critical path:") {
+		t.Errorf("FormatCriticalPath output incomplete:\n%s", out)
+	}
+	buf.Reset()
+	if err := WriteChrome(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	chrome := buf.String()
+	if !strings.Contains(chrome, `"traceEvents"`) || !strings.Contains(chrome, `"ph":"X"`) {
+		t.Errorf("chrome export malformed:\n%s", chrome)
+	}
+}
+
+// TestFileSinkRoundTrip: spans written through the ring come back
+// identical via ReadDir, and a second sink in the same directory
+// appends a fresh segment without clobbering the first.
+func TestFileSinkRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewFileSink(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := DeriveTraceID("fs", 5)
+	in := makeSpans(tid, int64(time.Hour))
+	for i := range in {
+		sink.Emit(&in[i])
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink2, err := NewFileSink(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := SpanData{TraceID: ID(tid), SpanID: 99, Name: "late", Service: "s2", Start: 1, Dur: 2, Sampled: true}
+	sink2.Emit(&extra)
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in)+1 {
+		t.Fatalf("decoded %d spans, want %d", len(got), len(in)+1)
+	}
+	for i := range in {
+		a, b := in[i], got[i]
+		if a.SpanID != b.SpanID || a.Name != b.Name || a.Start != b.Start || a.Dur != b.Dur ||
+			a.Seed != b.Seed || a.Frames != b.Frames || a.SampledFrames != b.SampledFrames ||
+			a.Sampled != b.Sampled || a.Service != b.Service || len(a.Stages) != len(b.Stages) ||
+			len(a.Attrs) != len(b.Attrs) {
+			t.Errorf("span %d mismatch:\n in: %+v\nout: %+v", i, a, b)
+		}
+	}
+	if got[len(got)-1].Name != "late" {
+		t.Errorf("second process's span lost: %+v", got[len(got)-1])
+	}
+}
+
+// TestFileSinkRingCap: tiny segments and a tiny cap force deletions;
+// the directory stays bounded and the survivors still decode.
+func TestFileSinkRingCap(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewFileSink(dir, 4096, WithSegmentBytes(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := SpanData{TraceID: 1, SpanID: 2, Name: "filler-span-name", Service: "svc",
+		Start: 1, Dur: 2, Sampled: true,
+		Attrs: []Attr{{Key: "pad", Value: strings.Repeat("x", 64)}}}
+	for i := 0; i < 500; i++ {
+		sp.SpanID = ID(i + 1)
+		sink.Emit(&sp)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	// The cap bounds retained closed segments; the live segment may
+	// overhang by one roll threshold.
+	if total > 4096+1024+512 {
+		t.Errorf("ring holds %d bytes, cap 4096 + one segment", total)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("ring retained nothing")
+	}
+	if last := got[len(got)-1].SpanID; last != 500 {
+		t.Errorf("newest span = %d, want 500 (oldest must be deleted, not newest)", last)
+	}
+}
+
+// TestFileSinkTornTail: a segment truncated mid-record decodes cleanly
+// up to the tear.
+func TestFileSinkTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewFileSink(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sink.Emit(&SpanData{TraceID: 1, SpanID: ID(i + 1), Name: "s", Service: "svc",
+			Start: int64(i), Dur: 1, Sampled: true})
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "trace-*.bin"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Errorf("decoded %d spans after tear, want 9 (all but the torn record)", len(got))
+	}
+}
+
+// TestStageAddZeroAllocs is the hot-path contract for the per-frame
+// annotation calls: StageAdd and FrameDone on a live span allocate
+// nothing.
+func TestStageAddZeroAllocs(t *testing.T) {
+	tr := New("z", NopSink{}, WithSampleEvery(1))
+	tid := DeriveTraceID("z", 1)
+	sp := tr.StartEpisode(SpanContext{Tracer: tr, TraceID: tid}, 7)
+	defer sp.Finish()
+	if !sp.Sampled() {
+		t.Fatal("sample-every-1 episode not sampled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp.StageAdd(0, time.Microsecond)
+		sp.StageAdd(3, time.Microsecond)
+		sp.FrameDone(true)
+	})
+	if allocs != 0 {
+		t.Errorf("StageAdd/FrameDone allocate %.1f per frame, want 0", allocs)
+	}
+}

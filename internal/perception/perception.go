@@ -13,6 +13,30 @@ import (
 	"github.com/robotack/robotack/internal/track"
 )
 
+// Frame-stage indices of the instrumented closed loop, in execution
+// order. They are the shared vocabulary of per-stage telemetry: the
+// experiment runner labels its robotack_frame_stage_seconds series and
+// annotates episode trace spans by these indices, and robotack-trace
+// resolves span stage slots back to names through StageNames. The
+// sensor, malware, lidar and plan stages are not perception stages,
+// but the loop is timed as one pipeline, so the catalog lives with the
+// Stage* instrumentation points it brackets.
+const (
+	StageSensor = iota
+	StageMalware
+	StageLidar
+	StageDetectIdx
+	StageTrackIdx
+	StageFusionIdx
+	StagePlan
+	NumStages
+)
+
+// StageNames maps the stage indices to their metric label values.
+var StageNames = [NumStages]string{
+	"sensor", "malware", "lidar", "detect", "track", "fusion", "plan",
+}
+
 // Pipeline is one complete perception stack instance. The ADS owns one;
 // the malware owns a second, independent instance for its own
 // situational awareness (paper §III-D: the malware reconstructs the

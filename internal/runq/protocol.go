@@ -1,19 +1,38 @@
 package runq
 
-import "github.com/robotack/robotack/internal/results"
+import (
+	"github.com/robotack/robotack/internal/obs/trace"
+	"github.com/robotack/robotack/internal/results"
+)
 
 // The wire types of the remote-worker protocol. A worker process on
-// another machine drives the queue over four verbs:
+// another machine drives the queue over five verbs:
 //
 //	POST /lease                  LeaseRequest  → LeaseResponse (204: empty queue)
 //	POST /runs/{id}/heartbeat    HeartbeatRequest; 409 means the lease is lost
 //	POST /runs/{id}/episodes     EpisodesRequest, streamed in batches as episodes complete
+//	POST /runs/{id}/spans        SpansRequest, the worker's trace spans (traced jobs only)
 //	POST /runs/{id}/complete     CompleteRequest with the final aggregate
 //	POST /runs/{id}/fail         FailRequest (requeue=true hands the job back)
+//
+// Every worker request also identifies itself in headers: WorkerHeader
+// names the worker, and — for requests belonging to a traced job —
+// TraceparentHeader carries the job's trace context (the server sets
+// the same header on lease responses). campaignd's route middleware
+// logs both.
 //
 // Episode records flow through the server into the served results
 // store, so a worker crash loses nothing that was acknowledged: the
 // requeued job's next attempt resumes from exactly those episodes.
+
+// WorkerHeader names the requesting worker on every lease-protocol
+// request (the JSON bodies repeat it; the header makes it visible to
+// middleware and access logs without body parsing).
+const WorkerHeader = "X-Robotack-Worker"
+
+// TraceparentHeader carries the traceparent-style trace context
+// ("00-<trace-id>-<span-id>-01") of the job a request belongs to.
+const TraceparentHeader = "Traceparent"
 
 // LeaseRequest asks for the next queued job.
 type LeaseRequest struct {
@@ -41,6 +60,14 @@ type HeartbeatRequest struct {
 type EpisodesRequest struct {
 	Worker   string                  `json:"worker"`
 	Episodes []results.EpisodeRecord `json:"episodes"`
+}
+
+// SpansRequest forwards a traced job's completed worker-side spans
+// (worker-job, engine-job, episode) into the server's trace sink, so
+// one sink holds the whole cross-process trace.
+type SpansRequest struct {
+	Worker string           `json:"worker"`
+	Spans  []trace.SpanData `json:"spans"`
 }
 
 // CompleteRequest finishes a job, delivering the campaign aggregate

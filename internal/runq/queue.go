@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 )
 
 // Errors the queue's operations return; the HTTP layer maps them to
@@ -42,6 +43,7 @@ type Queue struct {
 	maxConcurrent int
 	leaseTTL      time.Duration
 	log           *slog.Logger
+	tracer        *trace.Tracer
 
 	compactThreshold int64
 
@@ -149,9 +151,18 @@ func Open(dir string, opts ...Option) (*Queue, error) {
 			q.lockf.Close()
 		}
 	}
+	now := time.Now()
 	for id, j := range q.jobs {
 		if id > q.nextID {
 			q.nextID = id
+		}
+		if !j.State.Terminal() && q.tracer != nil {
+			// Span clocks are unjournaled; a replayed job's waiting time
+			// counts from this process's start. Untraced queues skip the
+			// stamp so replayed state stays a pure function of the
+			// journal (compaction-equivalence depends on that).
+			j.submittedAt = now
+			j.enqueuedAt = now
 		}
 		if j.State == StateRunning {
 			// The previous process died mid-run; requeue. The journal
@@ -248,6 +259,7 @@ func (q *Queue) expireLeases() {
 // requeueLocked puts a previously running job back at the front of
 // the queue; its next attempt resumes from the store.
 func (q *Queue) requeueLocked(j *Job) {
+	q.traceRequeuedLocked(j, time.Now())
 	j.State = StateQueued
 	j.Worker = ""
 	j.lease = time.Time{}
@@ -279,6 +291,12 @@ func (q *Queue) Submit(req Request) (Job, error) {
 		req.Name = fmt.Sprintf("%s-%s-job%d", req.Label(), strings.ToLower(req.Mode), q.nextID)
 	}
 	j := &Job{ID: q.nextID, Request: req, State: StateQueued, Total: req.Runs}
+	if q.tracer != nil {
+		j.Trace = newTraceRef(req)
+		now := time.Now()
+		j.submittedAt = now
+		j.enqueuedAt = now
+	}
 	q.jobs[j.ID] = j
 	q.pending = append(q.pending, j.ID)
 	if err := appendJob(q.journal, j); err != nil {
@@ -346,6 +364,11 @@ func (q *Queue) Cancel(id int) error {
 			}
 		}
 	}
+	now := time.Now()
+	if j.State == StateRunning {
+		q.traceExecEndLocked(j, now, "cancelled")
+	}
+	q.traceRunEndLocked(j, now, StateCancelled)
 	j.State = StateCancelled
 	j.Worker = ""
 	j.lease = time.Time{}
@@ -489,6 +512,7 @@ func (q *Queue) dispatchLocked() {
 		j.Worker = LocalWorker
 		j.lease = time.Time{}
 		count(qLeased)
+		q.traceDequeuedLocked(j, time.Now())
 		q.observeRateLocked(id, j.Done)
 		q.log.Info("job dispatched locally", "job", id, "attempt", j.Attempt)
 		q.journalLocked(j)
@@ -496,6 +520,15 @@ func (q *Queue) dispatchLocked() {
 		q.gaugesLocked()
 		q.running++
 		ctx, cancel := context.WithCancel(q.ctx)
+		if q.traced(j) {
+			// The local executor's engine runs under the dispatch span,
+			// so engine-job and episode spans nest into this trace.
+			ctx = trace.NewContext(ctx, trace.SpanContext{
+				Tracer:  q.tracer,
+				TraceID: uint64(j.Trace.TraceID),
+				SpanID:  execSpanID(j.Trace, j.Attempt),
+			})
+		}
 		q.cancels[id] = cancel
 		q.wg.Add(1)
 		go q.runLocal(ctx, cancel, *j)
@@ -520,6 +553,9 @@ func (q *Queue) runLocal(ctx context.Context, cancel context.CancelFunc, job Job
 		// Cancel already recorded the terminal state; the executor just
 		// returned from the context cancellation.
 	case err == nil:
+		now := time.Now()
+		q.traceExecEndLocked(j, now, "done")
+		q.traceRunEndLocked(j, now, StateDone)
 		j.State = StateDone
 		j.Done = j.Total
 		j.Worker = ""
@@ -532,6 +568,9 @@ func (q *Queue) runLocal(ctx context.Context, cancel context.CancelFunc, job Job
 		// Shutdown interrupted the job; hand it to the next process.
 		q.requeueLocked(j)
 	default:
+		now := time.Now()
+		q.traceExecEndLocked(j, now, "failed")
+		q.traceRunEndLocked(j, now, StateFailed)
 		j.State = StateFailed
 		j.Error = err.Error()
 		j.Worker = ""
@@ -565,8 +604,10 @@ func (q *Queue) Lease(worker string) (job Job, ok bool) {
 	j.State = StateRunning
 	j.Attempt++
 	j.Worker = worker
-	j.lease = time.Now().Add(q.leaseTTL)
+	now := time.Now()
+	j.lease = now.Add(q.leaseTTL)
 	count(qLeased)
+	q.traceDequeuedLocked(j, now)
 	q.observeRateLocked(id, j.Done)
 	q.log.Info("job leased", "job", id, "worker", worker, "attempt", j.Attempt)
 	q.journalLocked(j)
@@ -601,8 +642,10 @@ func (q *Queue) Heartbeat(id int, worker string, done, total int) error {
 	if !j.remotelyLeasedBy(worker) {
 		return ErrLeaseLost
 	}
-	j.lease = time.Now().Add(q.leaseTTL)
+	now := time.Now()
+	j.lease = now.Add(q.leaseTTL)
 	count(qRenewed)
+	q.traceHeartbeatLocked(j, now)
 	if done > j.Done {
 		j.Done = done
 		if total > 0 {
@@ -640,6 +683,9 @@ func (q *Queue) Complete(id int, worker string) error {
 	if !j.remotelyLeasedBy(worker) {
 		return ErrLeaseLost
 	}
+	now := time.Now()
+	q.traceExecEndLocked(j, now, "done")
+	q.traceRunEndLocked(j, now, StateDone)
 	j.State = StateDone
 	j.Done = j.Total
 	j.Worker = ""
@@ -672,6 +718,9 @@ func (q *Queue) Fail(id int, worker, msg string, requeue bool) error {
 			"job", id, "worker", worker, "attempt", j.Attempt, "err", msg)
 		q.requeueLocked(j)
 	} else {
+		now := time.Now()
+		q.traceExecEndLocked(j, now, "failed")
+		q.traceRunEndLocked(j, now, StateFailed)
 		j.State = StateFailed
 		j.Error = msg
 		j.Worker = ""

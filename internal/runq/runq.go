@@ -49,11 +49,22 @@ type Job struct {
 	// own dispatcher, the worker's self-chosen name for remote leases).
 	Worker string `json:"worker,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Trace is the job's deterministic trace identity, set at submit
+	// when the queue has a tracer. Journaled, so every attempt — in
+	// this process or the next — stays on one trace.
+	Trace *TraceRef `json:"trace,omitempty"`
 
 	// lease is when a remote worker's lease expires; zero for local
 	// execution (the dispatcher's context keeps those alive). Not
 	// journaled: replay requeues running jobs regardless.
 	lease time.Time
+	// Trace-span clocks, unjournaled (a restarted queue restarts them):
+	// when the job was submitted, when it last (re)entered the queue,
+	// when its current attempt began, and a per-job heartbeat counter.
+	submittedAt time.Time
+	enqueuedAt  time.Time
+	executingAt time.Time
+	hbSeq       uint32
 }
 
 // Resume reports whether executing the job must fold episodes already

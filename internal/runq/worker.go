@@ -16,6 +16,7 @@ import (
 	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/experiment"
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 	"github.com/robotack/robotack/internal/results"
 )
 
@@ -54,6 +55,14 @@ type Worker struct {
 	// Log receives the worker's structured progress and error records,
 	// with worker/job/attempt attributes (default: discard).
 	Log *slog.Logger
+	// NoTrace disables span tracing for jobs that carry a TraceRef. By
+	// default a traced job gets a per-job tracer whose spans (worker-job,
+	// engine-job, sampled episodes, slow exemplars) are forwarded to the
+	// server's sink over POST /runs/{id}/spans.
+	NoTrace bool
+	// TraceSample overrides the episode-span sampling rate, 1-in-N
+	// (<=0: trace.DefaultSampleEvery).
+	TraceSample int
 
 	// sleep is the interruptible wait, overridable in tests.
 	sleep func(ctx context.Context, d time.Duration) bool
@@ -162,7 +171,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // queue had nothing for us.
 func (w *Worker) RunOne(ctx context.Context) (ran bool, err error) {
 	var lease LeaseResponse
-	status, err := w.postJSON(ctx, "/lease", LeaseRequest{Worker: w.Name}, &lease)
+	status, err := w.postJSON(ctx, "/lease", "", LeaseRequest{Worker: w.Name}, &lease)
 	if err != nil {
 		return false, fmt.Errorf("lease: %w", err)
 	}
@@ -201,6 +210,9 @@ func (w *Worker) batch() int {
 type run struct {
 	w     *Worker
 	jobID int
+	// traceparent is the job's trace-context header value ("" for
+	// untraced jobs), set on every request the run makes.
+	traceparent string
 	// cancel aborts the engine once the lease is lost.
 	cancel context.CancelFunc
 	lost   atomic.Bool
@@ -234,7 +246,7 @@ func (r *run) flush() error {
 	r.buf = nil
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	status, err := r.w.postJSON(ctx, fmt.Sprintf("/runs/%d/episodes", r.jobID),
+	status, err := r.w.postJSON(ctx, fmt.Sprintf("/runs/%d/episodes", r.jobID), r.traceparent,
 		EpisodesRequest{Worker: r.w.Name, Episodes: batch}, nil)
 	first, last := batch[0].Index, batch[len(batch)-1].Index
 	if err != nil {
@@ -280,7 +292,7 @@ func (r *run) heartbeat(ctx context.Context, ttl time.Duration, stop <-chan stru
 		case <-t.C:
 		}
 		hb := HeartbeatRequest{Worker: r.w.Name, Done: int(r.done.Load()), Total: int(r.total.Load())}
-		status, err := r.w.postJSON(ctx, fmt.Sprintf("/runs/%d/heartbeat", r.jobID), hb, nil)
+		status, err := r.w.postJSON(ctx, fmt.Sprintf("/runs/%d/heartbeat", r.jobID), r.traceparent, hb, nil)
 		switch {
 		case err != nil:
 			fails++ // transient; the lease may still survive
@@ -310,18 +322,48 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) {
 	r := &run{w: w, jobID: job.ID, cancel: cancel}
 	r.total.Store(int64(job.Total))
 
+	// A traced job gets a per-job tracer whose spans forward to the
+	// server's sink: the worker-job span nests under the attempt's lease
+	// span (both sides derive its ID from the journaled TraceRef), and
+	// engine-job/episode spans nest under worker-job via the context.
+	var jobSpan *trace.Span
+	var tr *trace.Tracer
+	var fwd *spanForwarder
+	if job.Trace != nil && !w.NoTrace {
+		r.traceparent = job.Trace.Traceparent(job.Attempt)
+		fwd = &spanForwarder{r: r}
+		tr = trace.New(w.Name, fwd, trace.WithSampleEvery(w.TraceSample))
+		sc := trace.SpanContext{
+			Tracer:  tr,
+			TraceID: uint64(job.Trace.TraceID),
+			SpanID:  execSpanID(job.Trace, job.Attempt),
+		}
+		jobSpan = tr.StartSpan(sc, "worker-job",
+			trace.DeriveSpanID(uint64(job.Trace.TraceID), uint64(job.Attempt), trace.StreamWorkerJob))
+		jobSpan.SetAttr("worker", w.Name)
+		jobCtx = jobSpan.Context(jobCtx)
+	}
+
 	stop := make(chan struct{})
 	defer close(stop)
 	go r.heartbeat(jobCtx, time.Duration(lease.LeaseTTLMillis)*time.Millisecond, stop)
 
 	rec, err := w.executeJob(jobCtx, job, r)
 
+	// Spans must land before the completion report: the server gates the
+	// spans endpoint on the lease, which completion releases.
+	jobSpan.Finish()
+	if tr != nil {
+		tr.Close()
+		fwd.flush()
+	}
+
 	// Reports go out on a fresh context: the worker's own ctx may be
 	// the reason the job stopped.
 	repCtx, repCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer repCancel()
 	report := func(verb string, body any) {
-		status, err := w.postJSON(repCtx, fmt.Sprintf("/runs/%d/%s", job.ID, verb), body, nil)
+		status, err := w.postJSON(repCtx, fmt.Sprintf("/runs/%d/%s", job.ID, verb), r.traceparent, body, nil)
 		switch {
 		case err != nil:
 			// Unreachable server: the lease will expire and the job
@@ -347,6 +389,47 @@ func (w *Worker) execute(ctx context.Context, lease LeaseResponse) {
 	default:
 		report("fail", FailRequest{Worker: w.Name, Error: err.Error()})
 		w.log().Warn("job failed", "worker", w.Name, "job", job.ID, "err", err)
+	}
+}
+
+// spanForwarderBatch is how many completed spans the forwarder buffers
+// before posting them to the server in one request.
+const spanForwarderBatch = 128
+
+// spanForwarder is a trace.Sink that ships the worker's completed
+// spans to the server's /runs/{id}/spans endpoint in batches. Spans
+// are observability, not results: a failed post is logged and the
+// batch dropped, never retried — the job's outcome must not hinge on
+// span delivery.
+type spanForwarder struct {
+	r   *run
+	buf []trace.SpanData
+}
+
+func (f *spanForwarder) Emit(d *trace.SpanData) {
+	f.buf = append(f.buf, d.Clone())
+	if len(f.buf) >= spanForwarderBatch {
+		f.flush()
+	}
+}
+
+func (f *spanForwarder) flush() {
+	if len(f.buf) == 0 {
+		return
+	}
+	batch := f.buf
+	f.buf = nil
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	status, err := f.r.w.postJSON(ctx, fmt.Sprintf("/runs/%d/spans", f.r.jobID), f.r.traceparent,
+		SpansRequest{Worker: f.r.w.Name, Spans: batch}, nil)
+	switch {
+	case err != nil:
+		f.r.w.log().Warn("span forward failed",
+			"worker", f.r.w.Name, "job", f.r.jobID, "spans", len(batch), "err", err)
+	case status != http.StatusOK:
+		f.r.w.log().Warn("span forward rejected",
+			"worker", f.r.w.Name, "job", f.r.jobID, "spans", len(batch), "status", status)
 	}
 }
 
@@ -394,6 +477,7 @@ func (w *Worker) fetchEpisodes(ctx context.Context, name string) ([]results.Epis
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(WorkerHeader, w.Name)
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return nil, err
@@ -413,9 +497,11 @@ func (w *Worker) fetchEpisodes(ctx context.Context, name string) ([]results.Epis
 }
 
 // postJSON posts body to path and decodes the response into out (when
-// non-nil and the status is 200). The status code is always returned
-// so callers can treat 204/409 as protocol, not errors.
-func (w *Worker) postJSON(ctx context.Context, path string, body, out any) (int, error) {
+// non-nil and the status is 200). Every request carries the worker's
+// identity header; traceparent, when non-empty, carries the job's
+// trace context. The status code is always returned so callers can
+// treat 204/409 as protocol, not errors.
+func (w *Worker) postJSON(ctx context.Context, path, traceparent string, body, out any) (int, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
@@ -425,6 +511,10 @@ func (w *Worker) postJSON(ctx context.Context, path string, body, out any) (int,
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(WorkerHeader, w.Name)
+	if traceparent != "" {
+		req.Header.Set(TraceparentHeader, traceparent)
+	}
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return 0, err

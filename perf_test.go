@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/robotack/robotack/internal/obs"
+	"github.com/robotack/robotack/internal/obs/trace"
 	"github.com/robotack/robotack/internal/perception"
 	"github.com/robotack/robotack/internal/planner"
 	"github.com/robotack/robotack/internal/scenario"
@@ -21,8 +22,9 @@ import (
 // objects, a braking target) and then requires the warm frame step to
 // allocate nothing. The step carries the same per-stage metric
 // recording the campaign runner performs (shard-pinned histogram and
-// counter handles, one tick per stage), so the proof covers the
-// instrumented loop, not a stripped-down one.
+// counter handles, one tick per stage) plus an active sampled episode
+// span annotated per stage, so the proof covers the fully instrumented
+// loop — metrics AND tracing — not a stripped-down one.
 func TestFrameStepZeroAllocs(t *testing.T) {
 	scn, err := scenario.DS1.Instantiate(stats.NewRNG(1))
 	if err != nil {
@@ -48,9 +50,23 @@ func TestFrameStepZeroAllocs(t *testing.T) {
 	detectH, trackH := stage("detect"), stage("track")
 	fuseH, planH := stage("fusion"), stage("plan")
 	framesH := obs.NewCounter("robotack_frames_total", "Simulation frames executed.").Handle()
-	tick := func(prev *time.Time, h obs.HistogramHandle) {
+
+	// The runner's tracing path: a sampled episode span annotated per
+	// stage (internal/experiment/obs.go's stageClock). Sampling 1-in-1
+	// forces the annotated branch, the one that must stay free.
+	tracer := trace.New("perf", trace.NopSink{}, trace.WithSampleEvery(1))
+	tid := trace.DeriveTraceID("perf", 1)
+	sp := tracer.StartEpisode(trace.SpanContext{Tracer: tracer, TraceID: tid}, 1)
+	defer sp.Finish()
+	if !sp.Sampled() {
+		t.Fatal("sample-every-1 episode span not sampled; the traced zero-alloc claim would be vacuous")
+	}
+
+	tick := func(prev *time.Time, h obs.HistogramHandle, stage int) {
 		now := time.Now()
-		h.Observe(now.Sub(*prev).Seconds())
+		d := now.Sub(*prev)
+		h.Observe(d.Seconds())
+		sp.StageAdd(stage, d)
 		*prev = now
 	}
 
@@ -58,19 +74,20 @@ func TestFrameStepZeroAllocs(t *testing.T) {
 	step := func() {
 		clk := time.Now()
 		frame := cam.CaptureInto(&buf, w, frameIdx)
-		tick(&clk, sensorH)
+		tick(&clk, sensorH, perception.StageSensor)
 		scan := lidar.Scan(w)
-		tick(&clk, lidarH)
+		tick(&clk, lidarH, perception.StageLidar)
 		dets := ads.StageDetect(frame.Image)
-		tick(&clk, detectH)
+		tick(&clk, detectH, perception.StageDetectIdx)
 		tracks := ads.StageTrack(dets)
-		tick(&clk, trackH)
+		tick(&clk, trackH, perception.StageTrackIdx)
 		objs := ads.StageFuse(tracks, scan)
-		tick(&clk, fuseH)
+		tick(&clk, fuseH, perception.StageFusionIdx)
 		d := pl.Plan(objs, ads.Fusion.Config(), w.EV, w.Road)
-		tick(&clk, planH)
+		tick(&clk, planH, perception.StagePlan)
 		w.Step(d.Accel)
 		framesH.Add(1)
+		sp.FrameDone(true)
 		w.Halted = false
 		frameIdx++
 	}

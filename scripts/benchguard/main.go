@@ -5,11 +5,11 @@
 // beyond the tolerance.
 //
 // The budget numbers were measured on a different machine than CI, so
-// the default tolerance is generous (25%): the guard catches order-of-
-// magnitude regressions — an accidental allocation in the frame loop, a
-// pipeline rebuilt per episode — not scheduler noise. Taking the
-// minimum across repetitions filters the noise further: the best rep
-// is the least-interfered-with one.
+// the default tolerance (15%) still leaves headroom for hardware
+// variation: the guard catches structural regressions — an accidental
+// allocation in the frame loop, a pipeline rebuilt per episode — not
+// scheduler noise. Taking the minimum across repetitions filters the
+// noise further: the best rep is the least-interfered-with one.
 //
 // Usage:
 //
@@ -40,7 +40,7 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
 	budgetPath := fs.String("budget", "BENCH_after.json", "committed budget file")
-	tolerance := fs.Float64("tolerance", 25, "allowed ns/op regression over budget, in percent")
+	tolerance := fs.Float64("tolerance", 15, "allowed ns/op regression over budget, in percent")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
