@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/obs"
+)
+
+// Cross-episode inference batching. A worker running k lockstep
+// episode lanes (engine.WithEpisodeBatch) funnels every lane's oracle
+// query through one InferBatcher: a querying lane parks until every
+// other in-episode lane has either parked on a query of its own or
+// finished its episode, then the accumulated queries flush through one
+// batched forward pass per attack vector (nn.Network.InferBatch) and
+// all parked lanes resume with their answers.
+//
+// Batching is opportunistic, not mandatory: the flush condition is
+// "no lane can make progress without an answer", so lanes that never
+// query (analytic oracles, golden episodes) run at full speed and an
+// episode's own computation sequence is untouched. Determinism holds
+// because every clone of a vector's oracle carries identical weights
+// and InferBatch row r is bit-identical to the unbatched Infer on row
+// r — which lane's clone executes the flush cannot be observed in the
+// results.
+var (
+	batchFlushRows = obs.NewHistogram("robotack_infer_batch_flush_rows",
+		"Oracle queries coalesced per batched-inference flush.",
+		obs.ExpBuckets(1, 2, 8))
+	batchOccupancy = obs.NewHistogram("robotack_infer_batch_occupancy",
+		"Fraction of active episode lanes contributing a query at flush time.",
+		[]float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1})
+)
+
+// laneSlot is one lane's parked oracle query. A lane issues at most
+// one query at a time, so each wrapped oracle owns its slot and the
+// batcher's queue holds pointers — no per-query allocation.
+type laneSlot struct {
+	vec     Vector
+	net     *nn.Network
+	in      [EncodeDim]float64
+	out     float64
+	pending bool
+}
+
+// vecExec is the per-vector flush executor: the first-seen clone of
+// the vector's network (all lane clones carry identical weights, so
+// any one of them produces bit-identical rows) plus the batched
+// scratch and the row-gather buffer.
+type vecExec struct {
+	net     *nn.Network
+	scratch *nn.BatchScratch
+	x       []float64
+	rows    []*laneSlot
+}
+
+// InferBatcher gathers same-vector neural-oracle queries across the
+// episode lanes of one engine worker and answers them with batched
+// forward passes. One batcher serves one worker's lane group; lanes
+// share it through engine group state (see engine.WithWorkerGroupState
+// and experiment's campaign wiring).
+type InferBatcher struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	active  int // lanes currently inside an episode
+	blocked int // lanes parked waiting for a flush
+	queue   []*laneSlot
+	execs   map[Vector]*vecExec
+
+	obsInit   bool
+	flushRows obs.HistogramHandle
+	occupancy obs.HistogramHandle
+}
+
+// NewInferBatcher returns an empty batcher.
+func NewInferBatcher() *InferBatcher {
+	b := &InferBatcher{execs: make(map[Vector]*vecExec)}
+	b.cond.L = &b.mu
+	return b
+}
+
+// EpisodeStart marks one lane as inside an episode. Every call must be
+// paired with EpisodeEnd (the experiment runner defers it), or parked
+// queries would wait for a lane that never progresses.
+func (b *InferBatcher) EpisodeStart() {
+	b.mu.Lock()
+	b.active++
+	b.mu.Unlock()
+}
+
+// EpisodeEnd marks one lane's episode as finished. If every remaining
+// in-episode lane is parked on a query, the pending batch flushes now
+// — a lane handing its slot back must not strand the others.
+func (b *InferBatcher) EpisodeEnd() {
+	b.mu.Lock()
+	b.active--
+	if len(b.queue) > 0 && b.blocked >= b.active {
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+}
+
+// WrapOracles derives a batching view of a lane's oracle map: neural
+// oracles are replaced by proxies that enqueue their queries on b,
+// everything else (the analytic oracle) passes through untouched and
+// keeps answering inline. A nil map stays nil.
+func (b *InferBatcher) WrapOracles(oracles map[Vector]Oracle) map[Vector]Oracle {
+	if oracles == nil {
+		return nil
+	}
+	out := make(map[Vector]Oracle, len(oracles))
+	for v, o := range oracles {
+		if nno, ok := o.(*NNOracle); ok {
+			bo := &batchedNNOracle{b: b}
+			bo.slot.vec = v
+			bo.slot.net = nno.Net
+			out[v] = bo
+		} else {
+			out[v] = o
+		}
+	}
+	return out
+}
+
+// batchedNNOracle is the blocking proxy a lane queries instead of its
+// NNOracle: PredictDelta parks the lane in the batcher and returns the
+// flushed batch's answer for its row.
+type batchedNNOracle struct {
+	b    *InferBatcher
+	slot laneSlot
+}
+
+var _ Oracle = (*batchedNNOracle)(nil)
+
+// PredictDelta implements Oracle.
+func (o *batchedNNOracle) PredictDelta(s State, k int) float64 {
+	s.EncodeInto(o.slot.in[:0], k)
+	return o.b.predict(&o.slot)
+}
+
+// predict enqueues the slot and parks until a flush answers it. The
+// flush fires as soon as no lane is runnable: when this query blocks
+// the last unparked in-episode lane, it executes the batch itself.
+func (b *InferBatcher) predict(slot *laneSlot) float64 {
+	b.mu.Lock()
+	slot.pending = true
+	b.queue = append(b.queue, slot)
+	b.blocked++
+	// active can be <= blocked when the oracle is used outside an
+	// EpisodeStart window (direct Run calls); the query then answers
+	// immediately as a batch of one instead of deadlocking.
+	if b.blocked >= b.active {
+		b.flushLocked()
+	}
+	for slot.pending {
+		b.cond.Wait()
+	}
+	b.blocked--
+	out := slot.out
+	b.mu.Unlock()
+	return out
+}
+
+// flushLocked executes every queued query, grouped per attack vector
+// into one InferBatch call each, and wakes the parked lanes. Callers
+// hold b.mu.
+func (b *InferBatcher) flushLocked() {
+	n := len(b.queue)
+	if n == 0 {
+		return
+	}
+	if en := obs.Enabled(); en {
+		if !b.obsInit {
+			b.obsInit = true
+			b.flushRows = batchFlushRows.Handle()
+			b.occupancy = batchOccupancy.Handle()
+		}
+		b.flushRows.Observe(float64(n))
+		if b.active > 0 {
+			b.occupancy.Observe(float64(n) / float64(b.active))
+		}
+	}
+	for i := 0; i < n; i++ {
+		slot := b.queue[i]
+		if slot == nil {
+			continue
+		}
+		ex := b.execs[slot.vec]
+		if ex == nil {
+			ex = &vecExec{net: slot.net}
+			ex.scratch = ex.net.NewBatchScratch(n)
+			b.execs[slot.vec] = ex
+		}
+		ex.rows = ex.rows[:0]
+		ex.x = ex.x[:0]
+		for j := i; j < n; j++ {
+			s := b.queue[j]
+			if s == nil || s.vec != slot.vec {
+				continue
+			}
+			ex.rows = append(ex.rows, s)
+			ex.x = append(ex.x, s.in[:]...)
+			b.queue[j] = nil
+		}
+		y := ex.net.InferBatch(ex.scratch, ex.x, len(ex.rows))
+		for r, s := range ex.rows {
+			s.out = y[r]
+			s.pending = false
+		}
+	}
+	b.queue = b.queue[:0]
+	b.cond.Broadcast()
+}

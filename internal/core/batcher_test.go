@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/robotack/robotack/internal/geom"
+	"github.com/robotack/robotack/internal/nn"
+	"github.com/robotack/robotack/internal/stats"
+)
+
+// TestInferBatcherMatchesUnbatched runs several concurrent "lanes",
+// each issuing its own deterministic query sequence through a shared
+// batcher, and requires every answer to be bit-identical to the same
+// query through an unbatched NNOracle — regardless of how the lanes'
+// queries interleave into flushes.
+func TestInferBatcherMatchesUnbatched(t *testing.T) {
+	rng := stats.NewRNG(21)
+	net := nn.NewRegressor(EncodeDim, rng)
+	src := map[Vector]Oracle{
+		VectorDisappear: &NNOracle{Net: net},
+		VectorMoveOut:   &NNOracle{Net: net.Clone()},
+	}
+
+	const lanes = 4
+	const queries = 200
+	b := NewInferBatcher()
+	results := make([][]float64, lanes)
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			// Per-lane oracle clones, as each engine lane's Scratch holds.
+			wrapped := b.WrapOracles(CloneOracles(src))
+			lrng := stats.NewRNG(int64(lane) * 977)
+			b.EpisodeStart()
+			defer b.EpisodeEnd()
+			out := make([]float64, 0, queries)
+			for q := 0; q < queries; q++ {
+				s := State{
+					Delta: lrng.Uniform(0, 40),
+					VRel:  geom.V(lrng.Normal(0, 3), lrng.Normal(0, 1)),
+					ARel:  geom.V(lrng.Normal(0, 1), lrng.Normal(0, 0.5)),
+				}
+				v := VectorDisappear
+				if q%3 == 0 {
+					v = VectorMoveOut
+				}
+				out = append(out, wrapped[v].PredictDelta(s, 1+q%59))
+			}
+			results[lane] = out
+		}(lane)
+	}
+	wg.Wait()
+
+	for lane := 0; lane < lanes; lane++ {
+		ref := CloneOracles(src)
+		lrng := stats.NewRNG(int64(lane) * 977)
+		for q := 0; q < queries; q++ {
+			s := State{
+				Delta: lrng.Uniform(0, 40),
+				VRel:  geom.V(lrng.Normal(0, 3), lrng.Normal(0, 1)),
+				ARel:  geom.V(lrng.Normal(0, 1), lrng.Normal(0, 0.5)),
+			}
+			v := VectorDisappear
+			if q%3 == 0 {
+				v = VectorMoveOut
+			}
+			want := ref[v].PredictDelta(s, 1+q%59)
+			if got := results[lane][q]; got != want {
+				t.Fatalf("lane %d query %d: batched %v, unbatched %v (must be bit-identical)", lane, q, got, want)
+			}
+		}
+	}
+}
+
+// TestInferBatcherPassThrough: analytic oracles must not be wrapped —
+// they answer inline without parking the lane, which is what keeps
+// nil-oracle campaigns free of batching overhead.
+func TestInferBatcherPassThrough(t *testing.T) {
+	b := NewInferBatcher()
+	an := NewAnalyticOracle(VectorDisappear)
+	wrapped := b.WrapOracles(map[Vector]Oracle{VectorDisappear: an})
+	if wrapped[VectorDisappear] != Oracle(an) {
+		t.Fatal("analytic oracle was wrapped")
+	}
+	if b.WrapOracles(nil) != nil {
+		t.Fatal("nil oracle map did not stay nil")
+	}
+}
+
+// TestInferBatcherSingleLane: with one active lane every query must
+// answer immediately (batch of one), and queries issued outside an
+// EpisodeStart window must not deadlock.
+func TestInferBatcherSingleLane(t *testing.T) {
+	rng := stats.NewRNG(5)
+	net := nn.NewRegressor(EncodeDim, rng)
+	b := NewInferBatcher()
+	wrapped := b.WrapOracles(map[Vector]Oracle{VectorDisappear: &NNOracle{Net: net}})
+	ref := &NNOracle{Net: net.Clone()}
+	s := State{Delta: 20, VRel: geom.V(-3, 0)}
+
+	// Outside any episode window.
+	if got, want := wrapped[VectorDisappear].PredictDelta(s, 10), ref.PredictDelta(s, 10); got != want {
+		t.Fatalf("out-of-episode query: got %v want %v", got, want)
+	}
+	// Inside a single-lane window.
+	b.EpisodeStart()
+	if got, want := wrapped[VectorDisappear].PredictDelta(s, 31), ref.PredictDelta(s, 31); got != want {
+		t.Fatalf("single-lane query: got %v want %v", got, want)
+	}
+	b.EpisodeEnd()
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
+	"github.com/robotack/robotack/internal/results"
+	"github.com/robotack/robotack/internal/scenario"
+	"github.com/robotack/robotack/internal/sim"
+)
+
+// TestBatchedCampaignBitIdentical is the Table-II-level proof for the
+// batched-inference engine mode: the same campaign, persisted to a
+// store, must produce byte-identical episode records and aggregates at
+// every (workers, episode-batch) combination — lockstep lanes and
+// coalesced oracle queries change scheduling and arithmetic batching,
+// never results. Run with -race (the CI race job does) to double as
+// the lane-isolation proof.
+func TestBatchedCampaignBitIdentical(t *testing.T) {
+	oracles := testOracles()
+	c := Campaign{
+		Name:               "batched-iso",
+		Scenario:           scenario.DS2,
+		Mode:               core.ModeSmart,
+		PreferDisappearFor: sim.ClassPedestrian,
+		ExpectCrashes:      true,
+	}
+	const runs = 10
+	const baseSeed = 4400
+
+	type combo struct{ workers, batch int }
+	combos := []combo{{1, 1}, {4, 1}, {1, 4}, {2, 4}, {4, 8}}
+
+	var refStore *results.MemStore
+	var refRec results.CampaignRecord
+	for _, cb := range combos {
+		st := results.NewMemStore()
+		eng := engine.New(engine.WithWorkers(cb.workers), engine.WithEpisodeBatch(cb.batch))
+		res, err := RunCampaignOn(eng, c, runs, baseSeed, oracles, WithSink(st))
+		if err != nil {
+			t.Fatalf("workers=%d batch=%d: %v", cb.workers, cb.batch, err)
+		}
+		if refStore == nil {
+			refStore, refRec = st, res.CampaignRecord
+			continue
+		}
+		if !reflect.DeepEqual(res.CampaignRecord, refRec) {
+			t.Errorf("workers=%d batch=%d: aggregate differs from unbatched single-worker run:\ngot:  %+v\nwant: %+v",
+				cb.workers, cb.batch, res.CampaignRecord, refRec)
+		}
+		got, err := st.Episodes(c.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refStore.Episodes(c.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d batch=%d: stored episode records differ from baseline", cb.workers, cb.batch)
+		}
+	}
+}
+
+// TestBatchedGoldenCampaignIdentical covers the no-oracle path under
+// lanes: golden episodes never query, so the batcher must stay
+// pass-through and aggregates must match the unbatched run.
+func TestBatchedGoldenCampaignIdentical(t *testing.T) {
+	const runs = 8
+	base, err := RunGoldenOn(engine.New(engine.WithWorkers(1)), scenario.DS1, runs, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunGoldenOn(engine.New(engine.WithWorkers(2), engine.WithEpisodeBatch(4)), scenario.DS1, runs, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.CampaignRecord, batched.CampaignRecord) {
+		t.Errorf("golden aggregate differs under episode lanes:\nbatched: %+v\nplain:   %+v",
+			batched.CampaignRecord, base.CampaignRecord)
+	}
+}

@@ -310,8 +310,9 @@ func RunCampaignOn(eng *engine.Engine, c Campaign, runs int, baseSeed int64, ora
 		mkJob: func(i int) engine.Job {
 			return func(ctx context.Context, seed int64) (any, error) {
 				return RunCtx(ctx, RunConfig{
-					Source: c.Scenario,
-					Seed:   seed,
+					Source:       c.Scenario,
+					Seed:         seed,
+					recycleTrace: true,
 					Attack: AttackSetup{
 						Mode:               c.Mode,
 						PreferDisappearFor: c.PreferDisappearFor,
@@ -358,7 +359,7 @@ func RunGoldenOn(eng *engine.Engine, src scenario.Source, runs int, baseSeed int
 		opts:          o,
 		mkJob: func(i int) engine.Job {
 			return func(ctx context.Context, seed int64) (any, error) {
-				return RunCtx(ctx, RunConfig{Source: src, Seed: seed})
+				return RunCtx(ctx, RunConfig{Source: src, Seed: seed, recycleTrace: true})
 			}
 		},
 	})

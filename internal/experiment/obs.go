@@ -27,6 +27,18 @@ func stageHist(stage string) *obs.Histogram {
 		frameStageBuckets, obs.Label{Key: "stage", Value: stage})
 }
 
+// stageHists registers each stage's series once at init. Registration
+// (label escaping, series lookup) used to run per fresh Scratch, which
+// dominated the direct-Run allocation profile; handles still pin
+// per-worker shards, but against these shared series.
+var stageHists = func() [perception.NumStages]*obs.Histogram {
+	var h [perception.NumStages]*obs.Histogram
+	for i, name := range perception.StageNames {
+		h[i] = stageHist(name)
+	}
+	return h
+}()
+
 var (
 	framesTotal   = obs.NewCounter("robotack_frames_total", "Simulation frames executed.")
 	episodesTotal = obs.NewCounter("robotack_episodes_total", "Episodes completed.")
@@ -47,8 +59,8 @@ func newFrameObs() frameObs {
 		frames:   framesTotal.Handle(),
 		episodes: episodesTotal.Handle(),
 	}
-	for i, name := range perception.StageNames {
-		fo.stage[i] = stageHist(name).Handle()
+	for i := range stageHists {
+		fo.stage[i] = stageHists[i].Handle()
 	}
 	return fo
 }

@@ -11,13 +11,13 @@ import (
 	"math"
 
 	"github.com/robotack/robotack/internal/core"
+	"github.com/robotack/robotack/internal/engine"
 	"github.com/robotack/robotack/internal/obs"
 	"github.com/robotack/robotack/internal/obs/trace"
 	"github.com/robotack/robotack/internal/perception"
 	"github.com/robotack/robotack/internal/planner"
 	"github.com/robotack/robotack/internal/scenario"
 	"github.com/robotack/robotack/internal/sim"
-	"github.com/robotack/robotack/internal/stats"
 )
 
 // AttackSetup selects what malware (if any) to install for a run.
@@ -57,6 +57,14 @@ type RunConfig struct {
 	Source scenario.Source
 	Seed   int64
 	Attack AttackSetup
+
+	// recycleTrace lets the episode reuse the worker scratch's
+	// DeltaTrace backing array. Only the campaign path sets it — its
+	// fold reads scalar fields only, so the array is dead once the
+	// episode returns. Training-data generation keeps the default
+	// (fresh allocation) because it consumes DeltaTrace after the whole
+	// batch completes.
+	recycleTrace bool
 }
 
 // source resolves the episode's scenario source.
@@ -126,15 +134,24 @@ func Run(cfg RunConfig) (RunResult, error) {
 // and the pooled execution is bit-identical to a from-scratch run.
 func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	s := scratchFrom(ctx)
-	scn, err := cfg.source().Instantiate(stats.NewRNG(cfg.Seed))
+	// Under lockstep episode lanes the worker group shares an inference
+	// batcher; this lane's episode brackets itself so parked sibling
+	// queries flush when every runnable lane has either queried or
+	// finished (see core.InferBatcher).
+	batcher, _ := engine.GroupState(ctx).(*core.InferBatcher)
+	if batcher != nil {
+		batcher.EpisodeStart()
+		defer batcher.EpisodeEnd()
+	}
+	scn, err := scenario.InstantiateSource(cfg.source(), s.arenaFor(), reseed(&s.scnRNG, cfg.Seed))
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiment: %w", err)
 	}
 	w := scn.World
 	cam := s.cam
-	adsRNG := stats.NewRNG(cfg.Seed*7919 + 13)
+	adsRNG := reseed(&s.adsRNG, cfg.Seed*7919+13)
 	ads := s.pipeline(adsRNG)
-	lidar := s.lidarFor(adsRNG.Split())
+	lidar := s.lidarFor(reseed(&s.lidarRNG, adsRNG.SplitSeed()))
 	pl := s.plannerFor(planner.DefaultConfig(scn.CruiseSpeed))
 	safety := planner.DefaultSafetyConfig()
 
@@ -148,7 +165,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 			mcfg.Forced = &core.ForcedPlan{DeltaInject: fp.DeltaInject, K: fp.K}
 		}
 		mcfg.Policy = cfg.Attack.Policy
-		malware = s.malwareFor(mcfg, cfg.Attack.Oracles, stats.NewRNG(cfg.Seed*31337+7))
+		malware = s.malwareFor(batcher, mcfg, cfg.Attack.Oracles, reseed(&s.malRNG, cfg.Seed*31337+7))
 	}
 
 	// Stage timing and span tracing are observational only: the clock,
@@ -165,6 +182,10 @@ func RunCtx(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	}
 
 	res := RunResult{MinDelta: safety.MaxDSafe}
+	if cfg.recycleTrace {
+		res.DeltaTrace = s.trace[:0]
+		defer func() { s.trace = res.DeltaTrace }()
+	}
 	launched := false
 	for i := 0; i < scn.Frames() && !w.Halted; i++ {
 		if i%16 == 0 && ctx.Err() != nil {

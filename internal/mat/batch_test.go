@@ -1,0 +1,66 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refRow is the unbatched reference: the exact accumulation order of
+// nn.Dense.ForwardInto (single accumulator, ascending input index).
+func refRow(x, w, bias []float64, in, out int, dst []float64) {
+	for o := 0; o < out; o++ {
+		s := bias[o]
+		row := w[o*in : (o+1)*in]
+		for i := 0; i < in; i++ {
+			s += row[i] * x[i]
+		}
+		dst[o] = s
+	}
+}
+
+// TestMulBatchIntoBitIdentical checks every (rows, in, out) shape
+// around the kernel's 4x blocking boundaries against the row-wise
+// reference, requiring exact float64 equality — the property the
+// batched inference path's determinism rests on.
+func TestMulBatchIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16} {
+		for _, in := range []int{1, 3, 4, 5, 6, 50, 100} {
+			for _, out := range []int{1, 2, 4, 50, 100} {
+				x := make([]float64, rows*in)
+				w := make([]float64, out*in)
+				bias := make([]float64, out)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				for i := range w {
+					w[i] = rng.NormFloat64()
+				}
+				for i := range bias {
+					bias[i] = rng.NormFloat64()
+				}
+				got := make([]float64, rows*out)
+				MulBatchInto(got, x, w, bias, rows, in, out)
+				want := make([]float64, out)
+				for r := 0; r < rows; r++ {
+					refRow(x[r*in:(r+1)*in], w, bias, in, out, want)
+					for o := 0; o < out; o++ {
+						if got[r*out+o] != want[o] {
+							t.Fatalf("rows=%d in=%d out=%d: row %d output %d: got %x want %x",
+								rows, in, out, r, o, got[r*out+o], want[o])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulBatchIntoShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized dst did not panic")
+		}
+	}()
+	MulBatchInto(make([]float64, 3), make([]float64, 8), make([]float64, 8), make([]float64, 2), 2, 4, 2)
+}

@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/robotack/robotack/internal/stats"
+)
+
+func buildStack(dims []int, rng *stats.RNG) *Network {
+	var n Network
+	for i := 0; i+1 < len(dims); i++ {
+		n.Layers = append(n.Layers, NewDense(dims[i], dims[i+1], rng))
+		if i+2 < len(dims) {
+			n.Layers = append(n.Layers, &ReLU{}, NewDropout(0.1, rng))
+		}
+	}
+	return &n
+}
+
+// TestInferBatchMatchesInfer is the golden equivalence test for the
+// batched inference path: across layer shapes and batch sizes, row r
+// of InferBatch must be bit-identical to Infer on row r alone. This is
+// the property that lets the cross-episode batcher coalesce oracle
+// queries without perturbing any episode's float sequence.
+func TestInferBatchMatchesInfer(t *testing.T) {
+	shapes := [][]int{
+		{1, 1},
+		{3, 8, 1},
+		{6, 100, 100, 50, 1}, // the paper's regressor
+		{10, 7, 13, 4},
+		{2, 64, 2},
+	}
+	rng := stats.NewRNG(42)
+	for _, dims := range shapes {
+		n := buildStack(dims, rng)
+		in := dims[0]
+		outW := dims[len(dims)-1]
+		ref := n.NewInferScratch()
+		for _, rows := range []int{1, 3, 8} {
+			bs := n.NewBatchScratch(rows)
+			x := make([]float64, rows*in)
+			for i := range x {
+				x[i] = rng.Normal(0, 2)
+			}
+			got := n.InferBatch(bs, x, rows)
+			if len(got) != rows*outW {
+				t.Fatalf("shape %v rows=%d: InferBatch returned %d values, want %d", dims, rows, len(got), rows*outW)
+			}
+			for r := 0; r < rows; r++ {
+				want := n.Infer(ref, x[r*in:(r+1)*in])
+				for o := range want {
+					if got[r*outW+o] != want[o] {
+						t.Fatalf("shape %v rows=%d row=%d out=%d: InferBatch %v, Infer %v (must be bit-identical)",
+							dims, rows, r, o, got[r*outW+o], want[o])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchGrowsRows verifies a scratch sized for a small batch
+// transparently re-sizes when handed more rows (lane backfill can
+// briefly raise the flush size past the initial lane count).
+func TestInferBatchGrowsRows(t *testing.T) {
+	rng := stats.NewRNG(3)
+	n := NewRegressor(6, rng)
+	bs := n.NewBatchScratch(2)
+	ref := n.NewInferScratch()
+	rows := 9
+	x := make([]float64, rows*6)
+	for i := range x {
+		x[i] = rng.Normal(0, 1)
+	}
+	got := n.InferBatch(bs, x, rows)
+	for r := 0; r < rows; r++ {
+		want := n.Infer(ref, x[r*6:(r+1)*6])
+		if got[r] != want[0] {
+			t.Fatalf("row %d after grow: got %v want %v", r, got[r], want[0])
+		}
+	}
+}
+
+// TestInferBatchZeroAllocs: like Infer, a warm InferBatch call must
+// not allocate.
+func TestInferBatchZeroAllocs(t *testing.T) {
+	rng := stats.NewRNG(9)
+	n := NewRegressor(6, rng)
+	bs := n.NewBatchScratch(8)
+	x := make([]float64, 8*6)
+	for i := range x {
+		x[i] = rng.Normal(0, 1)
+	}
+	n.InferBatch(bs, x, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		n.InferBatch(bs, x, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm InferBatch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestInferScratchRebind is the regression test for the historical
+// sizeFor bug: the scratch cached sizing by layer COUNT, so handing a
+// warm scratch a same-depth but wider network kept the undersized
+// buffers and panicked on a slice bound. Sizing is now keyed to the
+// network's identity and recomputed on rebind.
+func TestInferScratchRebind(t *testing.T) {
+	rng := stats.NewRNG(11)
+	narrow := buildStack([]int{4, 8, 1}, rng)
+	wide := buildStack([]int{4, 64, 1}, rng) // same layer count, wider
+	s := narrow.NewInferScratch()
+	x := []float64{0.5, -1, 2, 0.25}
+	narrow.Infer(s, x)
+
+	want := wide.Forward(x, false)
+	got := wide.Infer(s, x) // must rebind + regrow, not panic
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rebound scratch output %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	// And rebinding back must keep working with the grown buffers.
+	wantN := narrow.Forward(x, false)
+	gotN := narrow.Infer(s, x)
+	if gotN[0] != wantN[0] {
+		t.Fatalf("re-rebound scratch: got %v want %v", gotN[0], wantN[0])
+	}
+}
+
+// TestInferScratchNoMidEpisodeResize: a warm, bound scratch must not
+// re-size (or re-scan the layer stack) on repeated calls with the same
+// network — the fast path is one pointer compare.
+func TestInferScratchNoMidEpisodeResize(t *testing.T) {
+	rng := stats.NewRNG(13)
+	n := NewRegressor(6, rng)
+	s := n.NewInferScratch()
+	x := make([]float64, 6)
+	n.Infer(s, x)
+	a0 := &s.a[0]
+	for i := 0; i < 50; i++ {
+		n.Infer(s, x)
+	}
+	if &s.a[0] != a0 {
+		t.Fatal("warm scratch re-sized mid-stream")
+	}
+}
+
+// BenchmarkInferBatch measures the batched forward pass of the paper's
+// regressor across batch sizes; B=1 is the matrix-vector baseline the
+// speedup is measured against.
+func BenchmarkInferBatch(b *testing.B) {
+	rng := stats.NewRNG(1)
+	n := NewRegressor(6, rng)
+	for _, rows := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("B=%d", rows), func(b *testing.B) {
+			bs := n.NewBatchScratch(rows)
+			x := make([]float64, rows*6)
+			for i := range x {
+				x[i] = rng.Normal(0, 1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.InferBatch(bs, x, rows)
+			}
+			// rows inferences per op: report per-row cost for comparison
+			// against BenchmarkInfer.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/row")
+		})
+	}
+}

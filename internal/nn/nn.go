@@ -311,19 +311,23 @@ func (d *Dropout) ForwardInto(dst, x []float64) []float64 {
 type InferScratch struct {
 	a, b []float64
 
-	layers   int // len(Layers) the cache below was computed for
+	net      *Network // the network the cache below was computed for
 	width    int
 	allInfer bool
 }
 
-// sizeFor (re)computes the cached structure for n. It re-runs only
-// when the layer count changes — layer stacks in this codebase are
-// fixed after construction.
+// sizeFor (re)computes the cached structure for n. The per-call fast
+// path is a single pointer compare; the full rescan runs only at
+// construction or when the scratch is rebound to a different network —
+// sizing is hoisted out of the prediction loop, so a warm scratch can
+// never silently grow (or, worse, stay undersized for a same-depth but
+// wider network, which the historical layer-count check allowed)
+// mid-episode.
 func (s *InferScratch) sizeFor(n *Network) {
-	if s.layers == len(n.Layers) && s.layers > 0 {
+	if s.net == n {
 		return
 	}
-	s.layers = len(n.Layers)
+	s.net = n
 	s.width = n.maxWidth()
 	s.allInfer = true
 	for _, l := range n.Layers {
@@ -355,8 +359,8 @@ func (n *Network) maxWidth() int {
 }
 
 // NewInferScratch allocates scratch buffers sized for this network's
-// widest layer. The scratch may be reused across calls; Infer re-sizes
-// it if handed a network with a different layer count.
+// widest layer. The scratch may be reused across calls; Infer rebinds
+// (and if needed re-sizes) it if handed a different network.
 func (n *Network) NewInferScratch() *InferScratch {
 	s := &InferScratch{}
 	s.sizeFor(n)

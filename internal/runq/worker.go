@@ -33,10 +33,17 @@ type Worker struct {
 	// Workers is the per-job engine pool size (<=0: one per CPU).
 	Workers int
 	// Batch is how many completed episodes to buffer before posting
-	// them to the server in one request (<=0: DefaultEpisodeBatch).
+	// them to the server in one request (<=0: DefaultPostBatch).
 	// Larger batches cut HTTP round-trips on fast jobs; smaller ones
-	// tighten the at-most-one-unflushed-batch crash window.
+	// tighten the at-most-one-unflushed-batch crash window. This is a
+	// transport knob — it batches RESULT UPLOADS. Batched INFERENCE is
+	// EpisodeBatch.
 	Batch int
+	// EpisodeBatch is the lockstep episode-lane count per engine worker
+	// (engine.WithEpisodeBatch): lanes coalesce same-network oracle
+	// queries into batched forward passes. <=1 disables lanes. Distinct
+	// from Batch, which only shapes HTTP traffic.
+	EpisodeBatch int
 	// Oracles are trained safety-hijacker oracles for smart-mode jobs
 	// (nil: the analytic oracle).
 	Oracles map[core.Vector]core.Oracle
@@ -188,21 +195,22 @@ func (w *Worker) RunOne(ctx context.Context) (ran bool, err error) {
 	return true, nil
 }
 
-// DefaultEpisodeBatch is how many completed episodes the worker
+// DefaultPostBatch is how many completed episodes the worker
 // buffers before posting them in one request: a paper-scale job is
 // thousands of episodes, and one synchronous round-trip each would
 // serialize the engine fold behind the network. A worker crash loses
 // at most one unflushed batch — the requeued attempt simply re-runs
 // those episodes. Override per worker with Worker.Batch
-// (robotack-worker -batch).
-const DefaultEpisodeBatch = 16
+// (robotack-worker -batch). Unrelated to inference batching
+// (Worker.EpisodeBatch / robotack-worker -episode-batch).
+const DefaultPostBatch = 16
 
 // batch returns the effective episode batch size.
 func (w *Worker) batch() int {
 	if w.Batch > 0 {
 		return w.Batch
 	}
-	return DefaultEpisodeBatch
+	return DefaultPostBatch
 }
 
 // run is the per-lease state shared by the engine's progress callback,
@@ -454,6 +462,7 @@ func (w *Worker) executeJob(ctx context.Context, job Job, r *run) (results.Campa
 	eng := engine.New(
 		engine.WithContext(ctx),
 		engine.WithWorkers(w.Workers),
+		engine.WithEpisodeBatch(w.EpisodeBatch),
 		engine.WithProgress(func(done, total int) {
 			r.done.Store(int64(done))
 			r.total.Store(int64(total))

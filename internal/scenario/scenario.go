@@ -33,12 +33,26 @@ const (
 	DS5
 )
 
+// dsNames are the canonical scenario names, indexed by id - DS1.
+var dsNames = [...]string{"DS-1", "DS-2", "DS-3", "DS-4", "DS-5"}
+
 // String implements fmt.Stringer.
 func (id ID) String() string {
 	if id < DS1 || id > DS5 {
 		return fmt.Sprintf("DS-?(%d)", int(id))
 	}
-	return fmt.Sprintf("DS-%d", int(id))
+	return dsNames[id-DS1]
+}
+
+// idFromName recovers the paper ID from a canonical scenario name, or
+// zero. Allocation-free, unlike scanning All() with String().
+func idFromName(name string) ID {
+	for i, n := range dsNames {
+		if n == name {
+			return DS1 + ID(i)
+		}
+	}
+	return 0
 }
 
 // Scenario is a ready-to-run simulation plus the metadata the
@@ -61,7 +75,8 @@ func (s *Scenario) Frames() int { return int(s.Duration * sim.CameraHz) }
 // FromCompiled wraps a compiled scenegen spec into a Scenario,
 // recovering the paper ID when the spec is a built-in DS.
 func FromCompiled(c *scenegen.Compiled) *Scenario {
-	s := &Scenario{
+	return &Scenario{
+		ID:          idFromName(c.Name),
 		Name:        c.Name,
 		World:       c.World,
 		TargetID:    c.TargetID,
@@ -69,13 +84,6 @@ func FromCompiled(c *scenegen.Compiled) *Scenario {
 		CruiseSpeed: c.CruiseSpeed,
 		Duration:    c.Duration,
 	}
-	for _, id := range All() {
-		if id.String() == c.Name {
-			s.ID = id
-			break
-		}
-	}
-	return s
 }
 
 // Build constructs the scenario with the given ID from its registry

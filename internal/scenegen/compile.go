@@ -27,18 +27,33 @@ type Compiled struct {
 // built-in DS specs must replay the historical hand-built scenarios bit
 // for bit.
 func Compile(spec *Spec, rng *stats.RNG) (*Compiled, error) {
+	return compile(nil, spec, rng)
+}
+
+// compile is the shared body of Compile and Arena.Compile: a nil arena
+// allocates fresh objects, a non-nil arena recycles its pools. Both
+// paths draw the identical jitter stream and produce bit-identical
+// worlds.
+func compile(ar *Arena, spec *Spec, rng *stats.RNG) (*Compiled, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	ev := sim.DefaultEV()
 	ev.Speed = spec.EVSpeed.Sample(rng)
-	w := sim.NewWorld(spec.Road.road(), ev)
-	out := &Compiled{
-		Name:        spec.Name,
-		World:       w,
-		CruiseSpeed: spec.CruiseSpeed,
-		Duration:    spec.Duration,
+	var w *sim.World
+	var out *Compiled
+	if ar != nil {
+		w = ar.begin(spec.Road.road(), ev)
+		out = &ar.compiled
+		*out = Compiled{}
+	} else {
+		w = sim.NewWorld(spec.Road.road(), ev)
+		out = &Compiled{}
 	}
+	out.Name = spec.Name
+	out.World = w
+	out.CruiseSpeed = spec.CruiseSpeed
+	out.Duration = spec.Duration
 	for ai := range spec.Actors {
 		as := &spec.Actors[ai]
 		n := as.count()
@@ -46,7 +61,7 @@ func Compile(spec *Spec, rng *stats.RNG) (*Compiled, error) {
 			n += rng.IntN(as.CountExtra)
 		}
 		for i := 0; i < n; i++ {
-			a, err := instantiate(as, i, rng)
+			a, err := instantiate(ar, as, i, rng)
 			if err != nil {
 				return nil, fmt.Errorf("scenegen: %s: actor %d: %w", spec.Name, ai, err)
 			}
@@ -62,7 +77,7 @@ func Compile(spec *Spec, rng *stats.RNG) (*Compiled, error) {
 
 // instantiate builds the i-th instance of an actor spec, drawing jitter
 // in the spec's declared order (position first unless BehaviorFirst).
-func instantiate(as *ActorSpec, i int, rng *stats.RNG) (*sim.Actor, error) {
+func instantiate(ar *Arena, as *ActorSpec, i int, rng *stats.RNG) (*sim.Actor, error) {
 	class, err := parseClass(as.Class)
 	if err != nil {
 		return nil, err
@@ -80,44 +95,83 @@ func instantiate(as *ActorSpec, i int, rng *stats.RNG) (*sim.Actor, error) {
 		y = as.Y.Sample(rng)
 	}
 	if as.BehaviorFirst {
-		behavior, err = buildBehavior(&as.Behavior, rng)
+		behavior, err = buildBehavior(ar, &as.Behavior, rng)
 		samplePos()
 	} else {
 		samplePos()
-		behavior, err = buildBehavior(&as.Behavior, rng)
+		behavior, err = buildBehavior(ar, &as.Behavior, rng)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &sim.Actor{
+	var a *sim.Actor
+	if ar != nil {
+		a = ar.takeActor()
+	} else {
+		a = new(sim.Actor)
+	}
+	// Full overwrite: recycled actors carry stale ID/Vel state.
+	*a = sim.Actor{
 		Class:    class,
 		Pos:      geom.V(x, y),
 		Size:     size,
 		Behavior: behavior,
-	}, nil
+	}
+	return a, nil
 }
 
 // buildBehavior maps a behavior spec to its sim implementation. The
 // per-kind parameter sampling order is fixed (see the kind constants).
-func buildBehavior(b *BehaviorSpec, rng *stats.RNG) (sim.Behavior, error) {
+// Behaviors drawn from the arena are fully overwritten, so recycled
+// progress state (TriggeredCross.triggered, WalkThenStop.walked, the
+// lazily-defaulted SafeCruise gaps) resets to the fresh zero values.
+func buildBehavior(ar *Arena, b *BehaviorSpec, rng *stats.RNG) (sim.Behavior, error) {
 	switch b.Kind {
 	case BehaviorCruise:
-		return &sim.Cruise{Speed: b.Speed.Sample(rng)}, nil
+		var c *sim.Cruise
+		if ar != nil {
+			c = ar.takeCruise()
+		} else {
+			c = new(sim.Cruise)
+		}
+		*c = sim.Cruise{Speed: b.Speed.Sample(rng)}
+		return c, nil
 	case BehaviorParked:
 		return sim.Parked{}, nil
 	case BehaviorSafeCruise:
-		return &sim.SafeCruise{Speed: b.Speed.Sample(rng)}, nil
+		var s *sim.SafeCruise
+		if ar != nil {
+			s = ar.takeSafeCruise()
+		} else {
+			s = new(sim.SafeCruise)
+		}
+		*s = sim.SafeCruise{Speed: b.Speed.Sample(rng)}
+		return s, nil
 	case BehaviorTriggeredCross:
-		return &sim.TriggeredCross{
+		var t *sim.TriggeredCross
+		if ar != nil {
+			t = ar.takeTriggeredCross()
+		} else {
+			t = new(sim.TriggeredCross)
+		}
+		*t = sim.TriggeredCross{
 			TriggerGap: b.TriggerGap.Sample(rng),
 			CrossSpeed: b.Speed.Sample(rng),
 			ToY:        b.ToY,
-		}, nil
+		}
+		return t, nil
 	case BehaviorWalkThenStop:
-		return &sim.WalkThenStop{
+		var w *sim.WalkThenStop
+		if ar != nil {
+			w = ar.takeWalkThenStop()
+		} else {
+			w = new(sim.WalkThenStop)
+		}
+		*w = sim.WalkThenStop{
 			Speed:    b.Speed.Sample(rng),
 			Distance: b.Distance,
-		}, nil
+		}
+		return w, nil
 	default:
 		return nil, fmt.Errorf("unknown behavior kind %q", b.Kind)
 	}

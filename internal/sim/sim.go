@@ -170,6 +170,20 @@ func NewWorld(road Road, ev EV) *World {
 	return &World{Road: road, EV: ev, nextID: 1}
 }
 
+// Reset rewinds the world to the empty state NewWorld(road, ev) would
+// produce, retaining the actor slice's backing array so pooled episode
+// state (scenegen.Arena) can rebuild worlds without allocating. Actor
+// pointers previously held by the world are the arena's to recycle.
+func (w *World) Reset(road Road, ev EV) {
+	w.Road = road
+	w.EV = ev
+	w.Actors = w.Actors[:0]
+	w.Frame = 0
+	w.Halted = false
+	w.HaltActor = 0
+	w.nextID = 1
+}
+
 // AddActor inserts an actor and assigns it a unique ID, returning the ID.
 func (w *World) AddActor(a *Actor) ActorID {
 	a.ID = w.nextID

@@ -22,14 +22,27 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the stream to the start of the sequence for seed,
+// reusing the existing source. A reseeded stream produces exactly the
+// same values as NewRNG(seed), so pooled episode state can recycle its
+// RNGs without perturbing replay determinism.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Split derives an independent child stream. The derivation mixes the
 // parent's next value with a SplitMix64 step so sibling streams do not
 // correlate.
 func (g *RNG) Split() *RNG {
+	return NewRNG(g.SplitSeed())
+}
+
+// SplitSeed advances the stream one step and returns the seed Split
+// would hand a child — callers that recycle a pooled child RNG feed it
+// to Reseed instead of allocating a fresh stream.
+func (g *RNG) SplitSeed() int64 {
 	z := uint64(g.r.Int63()) + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return NewRNG(int64(z ^ (z >> 31)))
+	return int64(z ^ (z >> 31))
 }
 
 // Float64 returns a uniform sample in [0, 1).

@@ -245,3 +245,36 @@ func TestRNGUniformRange(t *testing.T) {
 		t.Errorf("Bernoulli(0.25) hit %d/10000", n)
 	}
 }
+
+// TestReseedMatchesFresh: a recycled, reseeded stream must replay the
+// exact sequence a freshly constructed stream produces — the property
+// that lets pooled episode state reuse RNG sources.
+func TestReseedMatchesFresh(t *testing.T) {
+	pooled := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		pooled.Float64() // dirty the stream
+	}
+	for _, seed := range []int64{42, -7, 0, 1 << 40} {
+		pooled.Reseed(seed)
+		fresh := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if got, want := pooled.Float64(), fresh.Float64(); got != want {
+				t.Fatalf("seed %d draw %d: reseeded %v, fresh %v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSplitSeedMatchesSplit: Split(parent) and Reseed(SplitSeed(parent))
+// must yield identical child streams from identical parent states.
+func TestSplitSeedMatchesSplit(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	child := a.Split()
+	recycled := NewRNG(0)
+	recycled.Reseed(b.SplitSeed())
+	for i := 0; i < 50; i++ {
+		if got, want := recycled.Float64(), child.Float64(); got != want {
+			t.Fatalf("draw %d: recycled child %v, split child %v", i, got, want)
+		}
+	}
+}

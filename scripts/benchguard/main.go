@@ -1,11 +1,13 @@
-// Command benchguard enforces per-benchmark ns/op budgets in CI: it
-// parses `go test -bench` output and compares each benchmark's best
-// (minimum) ns/op across -count repetitions against the committed
-// budget file (BENCH_after.json), failing when any benchmark regresses
-// beyond the tolerance.
+// Command benchguard enforces per-benchmark budgets in CI: it parses
+// `go test -bench` output and compares each benchmark's best (minimum)
+// ns/op across -count repetitions against the committed budget file
+// (BENCH_after.json), failing when any benchmark regresses beyond the
+// tolerance. Budget entries may also carry an allocs_per_op ceiling;
+// allocation counts are hardware-independent, so those are enforced
+// exactly (best rep must be at or under the ceiling, no tolerance).
 //
-// The budget numbers were measured on a different machine than CI, so
-// the default tolerance (15%) still leaves headroom for hardware
+// The ns/op budget numbers were measured on a different machine than
+// CI, so the default tolerance (15%) still leaves headroom for hardware
 // variation: the guard catches structural regressions — an accidental
 // allocation in the frame loop, a pipeline rebuilt per episode — not
 // scheduler noise. Taking the minimum across repetitions filters the
@@ -13,7 +15,7 @@
 //
 // Usage:
 //
-//	go test -run xxx -bench . -benchtime=1x -count=5 ./... | tee bench.txt
+//	go test -run xxx -bench . -benchtime=1x -count=5 -benchmem ./... | tee bench.txt
 //	go run ./scripts/benchguard -budget BENCH_after.json bench.txt
 //	go run ./scripts/benchguard -budget BENCH_after.json -tolerance 50 bench.txt
 package main
@@ -70,16 +72,28 @@ func run(w io.Writer, args []string) error {
 	return nil
 }
 
+// budget is one benchmark's committed contract: a ns/op ceiling
+// (enforced with tolerance) and an optional allocs/op ceiling
+// (enforced exactly; nil means not budgeted — legacy entries record
+// allocs informationally via the same field, so absence is the only
+// opt-out).
+type budget struct {
+	ns     float64
+	allocs *float64
+}
+
 // budgetFile mirrors the committed BENCH_after.json shape; fields this
-// guard doesn't budget on are ignored.
+// guard doesn't budget on are ignored. allocs_per_op is a pointer so
+// an explicit 0 (the frame loop's contract) is distinct from absent.
 type budgetFile struct {
 	Benchmarks []struct {
-		Name    string  `json:"name"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Name        string   `json:"name"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
 
-func loadBudgets(path string) (map[string]float64, error) {
+func loadBudgets(path string) (map[string]budget, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -88,10 +102,10 @@ func loadBudgets(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(raw, &bf); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]float64, len(bf.Benchmarks))
+	out := make(map[string]budget, len(bf.Benchmarks))
 	for _, b := range bf.Benchmarks {
 		if b.NsPerOp > 0 {
-			out[b.Name] = b.NsPerOp
+			out[b.Name] = budget{ns: b.NsPerOp, allocs: b.AllocsPerOp}
 		}
 	}
 	if len(out) == 0 {
@@ -100,30 +114,54 @@ func loadBudgets(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+// measurement is one benchmark's best rep: minimum ns/op, and minimum
+// allocs/op when the results carry -benchmem columns.
+type measurement struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkFrame-4   242504   4895 ns/op   0 B/op   0 allocs/op
 //
 // The -N suffix is GOMAXPROCS, not part of the benchmark's identity.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	allocsCol = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+)
 
-// parseBench extracts the minimum ns/op per benchmark name across all
-// repetitions in r.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+// parseBench extracts the minimum ns/op (and allocs/op, when present)
+// per benchmark name across all repetitions in r.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := map[string]measurement{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			return nil, fmt.Errorf("line %q: %w", line, err)
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		cur, seen := out[m[1]]
+		if !seen || ns < cur.ns {
+			cur.ns = ns
 		}
+		if am := allocsCol.FindStringSubmatch(line); am != nil {
+			allocs, err := strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			if !cur.hasAllocs || allocs < cur.allocs {
+				cur.allocs = allocs
+				cur.hasAllocs = true
+			}
+		}
+		out[m[1]] = cur
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -135,10 +173,12 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 }
 
 // compare renders one line per budgeted benchmark and reports whether
-// all measured ones stayed within tolerance. Budgeted benchmarks
-// missing from the results are listed but don't fail the run — CI may
-// legitimately run a subset.
-func compare(budgets, measured map[string]float64, tolerancePct float64) (string, bool) {
+// all measured ones stayed within tolerance (ns/op) and at or under
+// their alloc ceilings. Budgeted benchmarks missing from the results
+// are listed but don't fail the run — CI may legitimately run a
+// subset. An alloc ceiling on a benchmark whose results lack -benchmem
+// columns is likewise skipped, not failed.
+func compare(budgets map[string]budget, measured map[string]measurement, tolerancePct float64) (string, bool) {
 	var b strings.Builder
 	names := make([]string, 0, len(budgets))
 	for name := range budgets {
@@ -154,20 +194,28 @@ func compare(budgets, measured map[string]float64, tolerancePct float64) (string
 	}
 	ok := true
 	for _, name := range names {
-		budget := budgets[name]
+		bd := budgets[name]
 		got, ran := measured[name]
 		if !ran {
-			fmt.Fprintf(&b, "SKIP %-40s budget %12.0f ns/op (not in results)\n", name, budget)
+			fmt.Fprintf(&b, "SKIP %-40s budget %12.0f ns/op (not in results)\n", name, bd.ns)
 			continue
 		}
-		pct := (got - budget) / budget * 100
+		pct := (got.ns - bd.ns) / bd.ns * 100
 		status := "ok  "
 		if pct > tolerancePct {
 			status = "FAIL"
 			ok = false
 		}
-		fmt.Fprintf(&b, "%s %-40s budget %12.0f ns/op  got %12.0f ns/op  (%+.1f%%)\n",
-			status, name, budget, got, pct)
+		alloc := ""
+		if bd.allocs != nil && got.hasAllocs {
+			alloc = fmt.Sprintf("  allocs %.0f/%.0f", got.allocs, *bd.allocs)
+			if got.allocs > *bd.allocs {
+				status = "FAIL"
+				ok = false
+			}
+		}
+		fmt.Fprintf(&b, "%s %-40s budget %12.0f ns/op  got %12.0f ns/op  (%+.1f%%)%s\n",
+			status, name, bd.ns, got.ns, pct, alloc)
 	}
 	return b.String(), ok
 }

@@ -14,8 +14,8 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkFrame-4          	  242504	      5200 ns/op	       0 B/op	       0 allocs/op
 BenchmarkFrame-4          	  242504	      4901 ns/op	       0 B/op	       0 allocs/op
 BenchmarkFrame-4          	  242504	      6100 ns/op	       0 B/op	       0 allocs/op
-BenchmarkEpisode/golden-DS1-4  	     400	   3100000 ns/op	         334.6 episodes/s
-BenchmarkEpisode/golden-DS1-4  	     400	   2990000 ns/op	         334.6 episodes/s
+BenchmarkEpisode/golden-DS1-4  	     400	   3100000 ns/op	         334.6 episodes/s	  298581 B/op	     301 allocs/op
+BenchmarkEpisode/golden-DS1-4  	     400	   2990000 ns/op	         334.6 episodes/s	  298581 B/op	     295 allocs/op
 PASS
 ok  	github.com/robotack/robotack	12.3s
 `
@@ -25,17 +25,27 @@ func TestParseBenchMinAcrossReps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkFrame":              4901,
-		"BenchmarkEpisode/golden-DS1": 2990000,
+	want := map[string]measurement{
+		"BenchmarkFrame":              {ns: 4901, allocs: 0, hasAllocs: true},
+		"BenchmarkEpisode/golden-DS1": {ns: 2990000, allocs: 295, hasAllocs: true},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %v, want %v", got, want)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s: got %v ns/op, want %v (minimum across reps, -N suffix stripped)", name, got[name], ns)
+	for name, m := range want {
+		if got[name] != m {
+			t.Errorf("%s: got %+v, want %+v (minimum across reps, -N suffix stripped)", name, got[name], m)
 		}
+	}
+}
+
+func TestParseBenchWithoutBenchmem(t *testing.T) {
+	got, err := parseBench(strings.NewReader("BenchmarkX-4  100  5000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := got["BenchmarkX"]; m.hasAllocs {
+		t.Errorf("no allocs column, but hasAllocs set: %+v", m)
 	}
 }
 
@@ -45,15 +55,17 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 }
 
+func ceil(v float64) *float64 { return &v }
+
 func TestCompareWithinAndBeyondTolerance(t *testing.T) {
-	budgets := map[string]float64{
-		"BenchmarkFrame":   4895,
-		"BenchmarkEpisode": 3_000_000,
-		"BenchmarkUnrun":   100,
+	budgets := map[string]budget{
+		"BenchmarkFrame":   {ns: 4895},
+		"BenchmarkEpisode": {ns: 3_000_000},
+		"BenchmarkUnrun":   {ns: 100},
 	}
-	measured := map[string]float64{
-		"BenchmarkFrame":   5800,      // +18.5%: within 25%
-		"BenchmarkEpisode": 4_000_000, // +33%: beyond
+	measured := map[string]measurement{
+		"BenchmarkFrame":   {ns: 5800},      // +18.5%: within 25%
+		"BenchmarkEpisode": {ns: 4_000_000}, // +33%: beyond
 	}
 	report, ok := compare(budgets, measured, 25)
 	if ok {
@@ -74,11 +86,43 @@ func TestCompareWithinAndBeyondTolerance(t *testing.T) {
 	}
 }
 
+func TestCompareAllocCeilings(t *testing.T) {
+	budgets := map[string]budget{
+		"BenchmarkFrame":   {ns: 4895, allocs: ceil(0)},
+		"BenchmarkEpisode": {ns: 3_000_000, allocs: ceil(295)},
+	}
+
+	// At or under the ceiling: passes (allocs are exact, no tolerance).
+	measured := map[string]measurement{
+		"BenchmarkFrame":   {ns: 4900, allocs: 0, hasAllocs: true},
+		"BenchmarkEpisode": {ns: 2_990_000, allocs: 295, hasAllocs: true},
+	}
+	if report, ok := compare(budgets, measured, 15); !ok {
+		t.Errorf("at-ceiling allocs failed:\n%s", report)
+	}
+
+	// One alloc over a 0 ceiling fails even with fast ns/op.
+	measured["BenchmarkFrame"] = measurement{ns: 4000, allocs: 1, hasAllocs: true}
+	report, ok := compare(budgets, measured, 15)
+	if ok {
+		t.Errorf("1 alloc over a 0 ceiling passed:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL BenchmarkFrame") {
+		t.Errorf("report does not flag the alloc regression:\n%s", report)
+	}
+
+	// Results without -benchmem columns skip the alloc check.
+	measured["BenchmarkFrame"] = measurement{ns: 4900}
+	if report, ok := compare(budgets, measured, 15); !ok {
+		t.Errorf("missing allocs column should skip the ceiling, not fail:\n%s", report)
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	budget := filepath.Join(dir, "budget.json")
 	results := filepath.Join(dir, "bench.txt")
-	if err := os.WriteFile(budget, []byte(`{"benchmarks":[{"name":"BenchmarkFrame","ns_per_op":4895}]}`), 0o644); err != nil {
+	if err := os.WriteFile(budget, []byte(`{"benchmarks":[{"name":"BenchmarkFrame","ns_per_op":4895,"allocs_per_op":0}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(results, []byte(sampleBench), 0o644); err != nil {
@@ -94,5 +138,14 @@ func TestRunEndToEnd(t *testing.T) {
 	out.Reset()
 	if err := run(&out, []string{"-budget", budget, "-tolerance", "0", results}); err == nil {
 		t.Errorf("0%% tolerance accepted a slower result:\n%s", out.String())
+	}
+
+	// An alloc ceiling below the measured count fails regardless of ns.
+	if err := os.WriteFile(budget, []byte(`{"benchmarks":[{"name":"BenchmarkEpisode/golden-DS1","ns_per_op":3000000,"allocs_per_op":100}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(&out, []string{"-budget", budget, results}); err == nil {
+		t.Errorf("alloc ceiling 100 accepted 295 allocs/op:\n%s", out.String())
 	}
 }
